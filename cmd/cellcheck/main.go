@@ -1,0 +1,49 @@
+// Command cellcheck is the reproduction scorecard: it simulates a vanilla
+// measurement fleet (or loads a snapshot) and verifies every checkable
+// claim of the paper against the dataset, claim by claim.
+//
+// Usage:
+//
+//	cellcheck -devices 4000 -seed 7
+//	cellcheck -in run.snap.gz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/fleet"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		devices = flag.Int("devices", 4000, "fleet size (ignored with -in)")
+		seed    = flag.Int64("seed", 7, "simulation seed")
+		workers = flag.Int("workers", 8, "worker shards")
+		inPath  = flag.String("in", "", "check a saved snapshot instead of simulating")
+	)
+	flag.Parse()
+
+	var res *fleet.Result
+	var err error
+	if *inPath != "" {
+		res, err = fleet.LoadResult(*inPath)
+	} else {
+		res, err = fleet.Run(fleet.Scenario{Seed: *seed, NumDevices: *devices, Workers: *workers})
+	}
+	if err != nil {
+		log.Fatalf("cellcheck: %v", err)
+	}
+
+	results := analysis.CheckClaims(analysis.FromResult(res))
+	fmt.Print(analysis.RenderClaims(results))
+	for _, r := range results {
+		if !r.Pass {
+			os.Exit(1)
+		}
+	}
+}

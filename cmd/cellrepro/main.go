@@ -1,0 +1,67 @@
+// Command cellrepro regenerates every table and figure of the paper end to
+// end: it simulates the vanilla measurement fleet, analyzes the dataset,
+// fits and anneals the TIMP recovery model, simulates the patched fleet,
+// and prints a paper-vs-measured report (markdown) for each experiment.
+//
+// Usage:
+//
+//	cellrepro -devices 6000 -seed 7 > EXPERIMENTS.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/fleet"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		devices = flag.Int("devices", 6000, "fleet size")
+		seed    = flag.Int64("seed", 7, "simulation seed")
+		workers = flag.Int("workers", 8, "worker shards")
+	)
+	flag.Parse()
+
+	start := time.Now()
+	scenario := fleet.Scenario{Seed: *seed, NumDevices: *devices, Workers: *workers}
+	m, opt, enh, err := core.FullPipeline(scenario)
+	if err != nil {
+		log.Fatalf("cellrepro: %v", err)
+	}
+
+	o := m.Fleet.Overhead
+	overhead := analysis.CheckOverhead(o.MeanCPUUtilization, o.MaxCPUUtilization,
+		o.MaxMemoryBytes, o.MaxStorageBytes, o.MaxNetworkBytes,
+		m.Fleet.Scenario.Window.Hours()/24/30)
+
+	fpClasses := map[string]int{}
+	for c := failure.FalsePositiveClass(1); c < failure.NumFalsePositiveClasses; c++ {
+		fpClasses[c.String()] = m.Fleet.Monitor.ByFPClass[c]
+	}
+
+	patched := analysis.FromResult(enh.Patched)
+	report := analysis.BuildReport(m.Input, &patched, analysis.ReportConfig{
+		Devices:   *devices,
+		Months:    m.Fleet.Scenario.Window.Hours() / 24 / 30,
+		Seed:      *seed,
+		Catalogue: core.Catalogue(),
+		TIMP: &analysis.TIMPSummary{
+			Probations:  opt.Result.Probations,
+			Cost:        opt.Result.Cost,
+			DefaultCost: opt.Result.DefaultCost,
+			Improvement: opt.Result.Improvement(),
+			Samples:     opt.Samples,
+		},
+		Overhead:  &overhead,
+		FPClasses: fpClasses,
+		Recorded:  m.Fleet.Monitor.Recorded,
+	})
+	fmt.Print(report.Markdown(time.Since(start)))
+}

@@ -1,0 +1,92 @@
+// Command cellserve exposes a saved fleet snapshot over HTTP: the JSON
+// query API plus a minimal dashboard page — the centralized-analysis
+// service a deployment would put in front of the collected dataset.
+//
+// Usage:
+//
+//	cellserve -in run.snap.gz -listen 127.0.0.1:8080
+//	curl localhost:8080/api/stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"html/template"
+	"log"
+	"net/http"
+
+	"repro/internal/analysis"
+	"repro/internal/failure"
+	"repro/internal/fleet"
+	"repro/internal/trace"
+)
+
+var page = template.Must(template.New("index").Parse(`<!doctype html>
+<title>cellrel dashboard</title>
+<style>body{font-family:monospace;margin:2em}td,th{padding:2px 12px;text-align:right}</style>
+<h1>cellrel — cellular reliability dashboard</h1>
+<p>{{.Events}} failures from {{.Devices}} devices ({{.Prevalence}} prevalence, {{.Frequency}} failures/phone)</p>
+<h2>By kind</h2>
+<table><tr><th>kind</th><th>events</th></tr>
+{{range .Kinds}}<tr><td>{{.Name}}</td><td>{{.N}}</td></tr>{{end}}</table>
+<h2>By ISP</h2>
+<table><tr><th>ISP</th><th>prevalence</th><th>frequency</th></tr>
+{{range .ISPs}}<tr><td>{{.Name}}</td><td>{{printf "%.1f%%" .Prev}}</td><td>{{printf "%.1f" .Freq}}</td></tr>{{end}}</table>
+<p>JSON API: <a href="/api/stats">/api/stats</a> · <a href="/api/by-model">/api/by-model</a> ·
+<a href="/api/by-isp">/api/by-isp</a> · <a href="/api/events?limit=20">/api/events</a></p>
+`))
+
+func main() {
+	log.SetFlags(0)
+	var (
+		inPath = flag.String("in", "run.snap.gz", "input snapshot")
+		listen = flag.String("listen", "127.0.0.1:8080", "listen address")
+	)
+	flag.Parse()
+
+	res, err := fleet.LoadResult(*inPath)
+	if err != nil {
+		log.Fatalf("cellserve: %v", err)
+	}
+	in := analysis.FromResult(res)
+
+	mux := http.NewServeMux()
+	trace.NewQueryAPI(res.Dataset).Routes(mux)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		f3 := analysis.Figure3(in)
+		type kindRow struct {
+			Name string
+			N    int
+		}
+		kinds := map[failure.Kind]int{}
+		res.Dataset.Each(func(e *failure.Event) { kinds[e.Kind]++ })
+		var kindRows []kindRow
+		for k := failure.Kind(0); k < failure.NumKinds; k++ {
+			if kinds[k] > 0 {
+				kindRows = append(kindRows, kindRow{k.String(), kinds[k]})
+			}
+		}
+		type ispRow struct {
+			Name       string
+			Prev, Freq float64
+		}
+		var ispRows []ispRow
+		for _, g := range analysis.ByISP(in) {
+			ispRows = append(ispRows, ispRow{g.Name, g.Prevalence * 100, g.Frequency})
+		}
+		page.Execute(w, map[string]any{
+			"Events":     res.Dataset.Len(),
+			"Devices":    res.Population.Total,
+			"Prevalence": fmt.Sprintf("%.1f%%", (1-f3.ZeroShare)*100),
+			"Frequency":  fmt.Sprintf("%.1f", f3.Mean),
+			"Kinds":      kindRows,
+			"ISPs":       ispRows,
+		})
+	})
+	fmt.Printf("cellserve on http://%s (snapshot %s: %d events)\n", *listen, *inPath, res.Dataset.Len())
+	log.Fatal(http.ListenAndServe(*listen, mux))
+}

@@ -1,0 +1,90 @@
+// Command cellsweep runs the ablation sweeps DESIGN.md calls out: RAT
+// policy variants, dual connectivity, recovery triggers, and false-positive
+// filtering, printing a comparison table.
+//
+// Usage:
+//
+//	cellsweep -devices 1500 -seed 7
+//	cellsweep -devices 1500 -sweep trigger
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/android"
+	"repro/internal/fleet"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		devices = flag.Int("devices", 1500, "fleet size per variant")
+		seed    = flag.Int64("seed", 7, "simulation seed (shared across variants)")
+		workers = flag.Int("workers", 8, "worker shards")
+		sweep   = flag.String("sweep", "policy", "which sweep: policy | trigger | fpfilter | all")
+	)
+	flag.Parse()
+
+	base := fleet.Scenario{Seed: *seed, NumDevices: *devices, Workers: *workers}
+
+	sweeps := map[string][]fleet.SweepPoint{
+		"policy": {
+			{Name: "vanilla (Android 9/10 stock)", Scenario: base},
+			{Name: "stability-compatible", Scenario: with(base, func(s *fleet.Scenario) { s.Policy = fleet.PolicyStability })},
+			{Name: "stability + dual connectivity", Scenario: with(base, func(s *fleet.Scenario) {
+				s.Policy = fleet.PolicyStability
+				s.DualConnectivity = true
+			})},
+			{Name: "never-5G", Scenario: with(base, func(s *fleet.Scenario) { s.Policy = fleet.PolicyNever5G })},
+		},
+		"trigger": {
+			{Name: "fixed 60s probations (vanilla)", Scenario: base},
+			{Name: "TIMP 21/6/16s (paper)", Scenario: with(base, func(s *fleet.Scenario) { s.Trigger = android.PaperTIMPTrigger })},
+			{Name: "aggressive 5/5/5s", Scenario: with(base, func(s *fleet.Scenario) {
+				s.Trigger = android.ProfileTrigger{5 * time.Second, 5 * time.Second, 5 * time.Second}
+			})},
+		},
+		"fpfilter": {
+			{Name: "filtering on (Android-MOD)", Scenario: base},
+			{Name: "filtering off (ablation)", Scenario: with(base, func(s *fleet.Scenario) { s.DisableFPFilter = true })},
+		},
+	}
+
+	names := []string{*sweep}
+	if *sweep == "all" {
+		names = []string{"policy", "trigger", "fpfilter"}
+	}
+	for _, name := range names {
+		points, ok := sweeps[name]
+		if !ok {
+			log.Fatalf("cellsweep: unknown sweep %q", name)
+		}
+		fmt.Printf("== %s sweep (%d devices, seed %d) ==\n", name, *devices, *seed)
+		start := time.Now()
+		rows, err := fleet.Sweep(points)
+		if err != nil {
+			log.Fatalf("cellsweep: %v", err)
+		}
+		fmt.Printf("%-32s %8s %10s %10s %12s %9s\n",
+			"variant", "events", "prevalence", "5G freq", "mean stall", "filtered")
+		for _, r := range rows {
+			fmt.Printf("%-32s %8d %9.1f%% %10.1f %11.1fs %9d\n",
+				r.Name, r.Events, r.Prevalence*100, r.FiveGFrequency, r.MeanStallSeconds, r.FilteredFalsePositives)
+		}
+		fmt.Printf("(%v)\n", time.Since(start).Round(time.Millisecond))
+		if name == "trigger" {
+			fmt.Println("note: raw stall duration favors near-zero probations; the TIMP objective")
+			fmt.Println("additionally charges each executed operation's user-disruption penalty,")
+			fmt.Println("which is why the deployed optimum is interior (see DESIGN.md).")
+		}
+		fmt.Println()
+	}
+}
+
+func with(s fleet.Scenario, mutate func(*fleet.Scenario)) fleet.Scenario {
+	mutate(&s)
+	return s
+}

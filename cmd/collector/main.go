@@ -1,0 +1,61 @@
+// Command collector runs the backend trace collector: a TCP server that
+// receives compressed failure-event batches from devices (or cellsim
+// shards with -upload) and periodically persists the dataset.
+//
+// Usage:
+//
+//	collector -listen 127.0.0.1:9230 -o dataset.gob.gz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		listen   = flag.String("listen", "127.0.0.1:9230", "listen address")
+		out      = flag.String("o", "dataset.gob.gz", "dataset output path")
+		interval = flag.Duration("flush", 30*time.Second, "persist interval")
+	)
+	flag.Parse()
+
+	ds := trace.NewDataset()
+	col, err := trace.NewCollector(*listen, ds)
+	if err != nil {
+		log.Fatalf("collector: %v", err)
+	}
+	fmt.Printf("collector listening on %s, writing %s every %v\n", col.Addr(), *out, *interval)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	tick := time.NewTicker(*interval)
+	defer tick.Stop()
+
+	persist := func() {
+		if err := ds.SaveFile(*out); err != nil {
+			log.Printf("collector: persist: %v", err)
+			return
+		}
+		batches, rx := col.Stats()
+		fmt.Printf("persisted %d events (%d batches, ~%d bytes received)\n", ds.Len(), batches, rx)
+	}
+
+	for {
+		select {
+		case <-tick.C:
+			persist()
+		case <-stop:
+			persist()
+			col.Close()
+			return
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/stats"
+	"repro/internal/telephony"
+)
+
+// RenderTable1 prints the reproduced Table 1 with paper-vs-measured columns.
+func RenderTable1(rows []ModelRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %-4s %-8s %8s | %11s %11s | %11s %11s\n",
+		"Model", "5G", "Android", "Devices", "Prev(paper)", "Prev(ours)", "Freq(paper)", "Freq(ours)")
+	for _, r := range rows {
+		g := "-"
+		if r.FiveG {
+			g = "YES"
+		}
+		fmt.Fprintf(&b, "%-6d %-4s %-8d %8d | %10.1f%% %10.1f%% | %11.1f %11.1f\n",
+			r.ModelID, g, r.Android, r.Devices,
+			r.PaperPrevalence*100, r.Prevalence*100, r.PaperFrequency, r.Frequency)
+	}
+	return b.String()
+}
+
+// RenderTable2 prints the reproduced Table 2.
+func RenderTable2(rows []CauseRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %12s %12s  %s\n", "Error Code", "Share(paper)", "Share(ours)", "Description")
+	for _, r := range rows {
+		paper := "-"
+		if r.PaperShare > 0 {
+			paper = fmt.Sprintf("%.1f%%", r.PaperShare*100)
+		}
+		fmt.Fprintf(&b, "%-28s %12s %11.1f%%  %s\n", r.Name, paper, r.Share*100, r.Description)
+	}
+	return b.String()
+}
+
+// RenderCDF prints an ASCII CDF with n sample points.
+func RenderCDF(title, unit string, cdf *stats.ECDF, n int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (N=%d)\n", title, cdf.N())
+	pts := cdf.Points(n)
+	const width = 50
+	for _, p := range pts {
+		bars := int(p[1] * width)
+		fmt.Fprintf(&b, "%10.1f %-4s |%s %5.1f%%\n", p[0], unit, strings.Repeat("#", bars), p[1]*100)
+	}
+	return b.String()
+}
+
+// RenderGroups prints prevalence/frequency bars for device groups.
+func RenderGroups(title string, groups []GroupStats) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, title)
+	maxPrev, maxFreq := 0.0, 0.0
+	for _, g := range groups {
+		if g.Prevalence > maxPrev {
+			maxPrev = g.Prevalence
+		}
+		if g.Frequency > maxFreq {
+			maxFreq = g.Frequency
+		}
+	}
+	for _, g := range groups {
+		pb, fb := 0, 0
+		if maxPrev > 0 {
+			pb = int(g.Prevalence / maxPrev * 30)
+		}
+		if maxFreq > 0 {
+			fb = int(g.Frequency / maxFreq * 30)
+		}
+		fmt.Fprintf(&b, "  %-22s prev %5.1f%% |%-30s| freq %6.1f |%-30s|\n",
+			g.Name, g.Prevalence*100, strings.Repeat("#", pb), g.Frequency, strings.Repeat("#", fb))
+	}
+	return b.String()
+}
+
+// RenderLevels prints the normalized prevalence per signal level
+// (Figures 15/16).
+func RenderLevels(title string, levels [telephony.NumSignalLevels]LevelPrevalence) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, title)
+	maxN := 0.0
+	for _, l := range levels {
+		if l.Normalized > maxN {
+			maxN = l.Normalized
+		}
+	}
+	for _, l := range levels {
+		bars := 0
+		if maxN > 0 {
+			bars = int(l.Normalized / maxN * 40)
+		}
+		fmt.Fprintf(&b, "  level-%d |%-40s| %.4f (raw %5.1f%%, exposed %d)\n",
+			l.Level, strings.Repeat("#", bars), l.Normalized, l.Raw*100, l.Exposed)
+	}
+	return b.String()
+}
+
+// RenderHeatmap prints one Figure 17 panel: rows are from-levels, columns
+// to-levels, cells show the failure-rate increase; '.' marks unobserved
+// cells.
+func RenderHeatmap(p TransitionIncrease) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "RAT transition %v level-i -> %v level-j (mean rate %.3f)\n", p.FromRAT, p.ToRAT, p.MeanRate)
+	fmt.Fprintf(&b, "      ")
+	for j := 0; j < telephony.NumSignalLevels; j++ {
+		fmt.Fprintf(&b, "   j=%d  ", j)
+	}
+	fmt.Fprintln(&b)
+	for i := 0; i < telephony.NumSignalLevels; i++ {
+		fmt.Fprintf(&b, "  i=%d ", i)
+		for j := 0; j < telephony.NumSignalLevels; j++ {
+			if !p.Observed[i][j] {
+				fmt.Fprintf(&b, "%7s ", ".")
+				continue
+			}
+			fmt.Fprintf(&b, "%+7.3f ", p.Increase[i][j])
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// RenderRanking prints the Figure 11 summary.
+func RenderRanking(r BSRanking) string {
+	return fmt.Sprintf(
+		"BS ranking by failures: %d BSes, Zipf fit a=%.2f b=%.2f (R²=%.2f), median=%.0f mean=%.1f max=%d, top urban/hub share=%.0f%%\n",
+		len(r.Counts), r.Fit.A, r.Fit.B, r.Fit.R2, r.Median, r.Mean, r.Max, r.TopUrbanShare*100)
+}
+
+// RenderEnhancement prints the §4.3 comparison with paper targets.
+func RenderEnhancement(rep EnhancementReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Enhancement evaluation (patched vs vanilla):\n")
+	fmt.Fprintf(&b, "  5G prevalence change: %+6.1f%%   (paper: -10%%)\n", rep.FiveGPrevalenceChange*100)
+	fmt.Fprintf(&b, "  5G frequency  change: %+6.1f%%   (paper: -40.3%%)\n", rep.FiveGFrequencyChange*100)
+	for _, kd := range rep.ByKind {
+		fmt.Fprintf(&b, "    %-18s prev %+6.1f%%, freq %+6.1f%%\n", kd.Kind, kd.PrevalenceChange*100, kd.FrequencyChange*100)
+	}
+	fmt.Fprintf(&b, "  mean Data_Stall duration change: %+6.1f%%   (paper: -38%%)\n", rep.StallDurationChange*100)
+	fmt.Fprintf(&b, "  total failure duration change:   %+6.1f%%   (paper: -36%%)\n", rep.TotalDurationChange*100)
+	fmt.Fprintf(&b, "  median failure duration: %v -> %v   (paper: 6s -> 2s)\n", rep.MedianDurationBefore, rep.MedianDurationAfter)
+	fmt.Fprintf(&b, "  Data_Stall duration CDF shift (KS distance): %.3f\n", rep.StallKS)
+	return b.String()
+}
+
+// RenderRegions prints the per-region failure landscape.
+func RenderRegions(rows []RegionStats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %8s %14s %14s\n", "Region", "Events", "MeanDuration", "MaxDuration")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %8d %13.1fs %14s\n",
+			r.Region, r.Events, r.MeanDuration.Seconds(), r.MaxDuration.Round(1e9))
+	}
+	return b.String()
+}

@@ -1,0 +1,142 @@
+package android
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/simclock"
+	"repro/internal/telephony"
+)
+
+// RadioFactory creates the radio backend for one APN context. Real Android
+// multiplexes PDP contexts over one modem; the simulator gives each APN a
+// scripted radio.
+type RadioFactory func(apn telephony.APN) Radio
+
+// TrackerHooks observe all APN contexts. Nil fields are skipped.
+type TrackerHooks struct {
+	// OnStateChange fires on any APN connection's transition.
+	OnStateChange func(apn telephony.APN, from, to DcState)
+	// OnSetupError fires per failed attempt on any APN.
+	OnSetupError func(apn telephony.APN, cause telephony.FailCause, attempt int)
+	// OnConnected fires when an APN reaches Active.
+	OnConnected func(apn telephony.APN)
+	// OnAbandoned fires when an APN exhausts its retries.
+	OnAbandoned func(apn telephony.APN, lastCause telephony.FailCause)
+}
+
+// DcTracker manages the per-APN data connections of one device, mirroring
+// Android's DcTracker: the default internet APN, IMS, MMS and others each
+// get their own connection state machine sharing the retry configuration.
+type DcTracker struct {
+	clock   *simclock.Scheduler
+	factory RadioFactory
+	cfg     DataConnectionConfig
+	hooks   TrackerHooks
+
+	conns map[telephony.APN]*DataConnection
+}
+
+// NewDcTracker builds an empty tracker.
+func NewDcTracker(clock *simclock.Scheduler, factory RadioFactory, cfg DataConnectionConfig, hooks TrackerHooks) *DcTracker {
+	if clock == nil || factory == nil {
+		panic("android: nil clock or radio factory")
+	}
+	return &DcTracker{
+		clock:   clock,
+		factory: factory,
+		cfg:     cfg,
+		hooks:   hooks,
+		conns:   make(map[telephony.APN]*DataConnection),
+	}
+}
+
+// EnableAPN creates (if needed) and establishes the APN's connection.
+func (t *DcTracker) EnableAPN(apn telephony.APN) error {
+	dc, ok := t.conns[apn]
+	if !ok {
+		apn := apn
+		dc = NewDataConnection(t.clock, t.factory(apn), t.cfg, Hooks{
+			OnStateChange: func(from, to DcState) {
+				if t.hooks.OnStateChange != nil {
+					t.hooks.OnStateChange(apn, from, to)
+				}
+			},
+			OnSetupError: func(cause telephony.FailCause, attempt int) {
+				if t.hooks.OnSetupError != nil {
+					t.hooks.OnSetupError(apn, cause, attempt)
+				}
+			},
+			OnConnected: func() {
+				if t.hooks.OnConnected != nil {
+					t.hooks.OnConnected(apn)
+				}
+			},
+			OnSetupAbandoned: func(cause telephony.FailCause) {
+				if t.hooks.OnAbandoned != nil {
+					t.hooks.OnAbandoned(apn, cause)
+				}
+			},
+		})
+		t.conns[apn] = dc
+	}
+	if dc.State() != DcInactive {
+		return fmt.Errorf("android: APN %q already %v", apn, dc.State())
+	}
+	return dc.RequestSetup()
+}
+
+// DisableAPN tears the APN's connection down (no-op if unknown).
+func (t *DcTracker) DisableAPN(apn telephony.APN) {
+	if dc, ok := t.conns[apn]; ok {
+		dc.Teardown()
+	}
+}
+
+// Connection returns the APN's state machine, or nil if never enabled.
+func (t *DcTracker) Connection(apn telephony.APN) *DataConnection { return t.conns[apn] }
+
+// State returns the APN's connection state (Inactive if never enabled).
+func (t *DcTracker) State(apn telephony.APN) DcState {
+	if dc, ok := t.conns[apn]; ok {
+		return dc.State()
+	}
+	return DcInactive
+}
+
+// ActiveAPNs lists APNs whose connection is Active, sorted for determinism.
+func (t *DcTracker) ActiveAPNs() []telephony.APN {
+	var out []telephony.APN
+	for apn, dc := range t.conns {
+		if dc.State() == DcActive {
+			out = append(out, apn)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AnyActive reports whether any APN carries data.
+func (t *DcTracker) AnyActive() bool {
+	for _, dc := range t.conns {
+		if dc.State() == DcActive {
+			return true
+		}
+	}
+	return false
+}
+
+// TeardownAll disconnects every APN (e.g. airplane mode).
+func (t *DcTracker) TeardownAll() {
+	for _, dc := range t.conns {
+		dc.Teardown()
+	}
+}
+
+// LoseAll signals radio-level loss to every active APN (e.g. SIGNAL_LOST):
+// all PDP contexts ride the same radio link.
+func (t *DcTracker) LoseAll(cause telephony.FailCause) {
+	for _, dc := range t.conns {
+		dc.ConnectionLost(cause)
+	}
+}

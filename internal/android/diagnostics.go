@@ -1,0 +1,95 @@
+package android
+
+import (
+	"time"
+
+	"repro/internal/simclock"
+	"repro/internal/telephony"
+)
+
+// DataStallReport mirrors Android's ConnectivityDiagnosticsManager
+// DataStallReport: what user-space apps are allowed to see about a stall
+// (§2.1: the Data_Stall notifier and Out_of_Service checker are exposed to
+// apps; Data_Setup_Error is not).
+type DataStallReport struct {
+	// DetectedAt is when the stall was flagged.
+	DetectedAt simclock.Time
+	// RAT and Level are the camped radio conditions at detection.
+	RAT   telephony.RAT
+	Level telephony.SignalLevel
+}
+
+// DiagnosticsCallback receives app-visible connectivity events.
+type DiagnosticsCallback struct {
+	// OnDataStallSuspected fires when the platform detects a stall.
+	OnDataStallSuspected func(DataStallReport)
+	// OnServiceStateChanged fires on registration-state changes
+	// (the Out_of_Service checker).
+	OnServiceStateChanged func(telephony.ServiceState)
+}
+
+// DiagnosticsManager fans platform events out to registered app callbacks
+// — the user-space notification surface the paper's monitoring service
+// could NOT rely on (it needed framework instrumentation for everything
+// else), reproduced here for completeness.
+type DiagnosticsManager struct {
+	clock     *simclock.Scheduler
+	callbacks map[int]DiagnosticsCallback
+	nextID    int
+
+	lastState telephony.ServiceState
+}
+
+// NewDiagnosticsManager builds an empty manager.
+func NewDiagnosticsManager(clock *simclock.Scheduler) *DiagnosticsManager {
+	if clock == nil {
+		panic("android: nil clock")
+	}
+	return &DiagnosticsManager{
+		clock:     clock,
+		callbacks: make(map[int]DiagnosticsCallback),
+		lastState: telephony.StateInService,
+	}
+}
+
+// Register adds an app callback and returns a handle for Unregister.
+func (m *DiagnosticsManager) Register(cb DiagnosticsCallback) int {
+	m.nextID++
+	m.callbacks[m.nextID] = cb
+	return m.nextID
+}
+
+// Unregister removes a callback; unknown handles are ignored.
+func (m *DiagnosticsManager) Unregister(handle int) { delete(m.callbacks, handle) }
+
+// Registered returns the number of live callbacks.
+func (m *DiagnosticsManager) Registered() int { return len(m.callbacks) }
+
+// NotifyDataStall publishes a stall report to every app callback.
+func (m *DiagnosticsManager) NotifyDataStall(rat telephony.RAT, level telephony.SignalLevel) {
+	report := DataStallReport{DetectedAt: m.clock.Now(), RAT: rat, Level: level}
+	for _, cb := range m.callbacks {
+		if cb.OnDataStallSuspected != nil {
+			cb.OnDataStallSuspected(report)
+		}
+	}
+}
+
+// NotifyServiceState publishes a registration-state change; repeated
+// identical states are suppressed like the platform does.
+func (m *DiagnosticsManager) NotifyServiceState(s telephony.ServiceState) {
+	if s == m.lastState {
+		return
+	}
+	m.lastState = s
+	for _, cb := range m.callbacks {
+		if cb.OnServiceStateChanged != nil {
+			cb.OnServiceStateChanged(s)
+		}
+	}
+}
+
+// StallAge is a convenience for app code: how long ago a report fired.
+func (m *DiagnosticsManager) StallAge(r DataStallReport) time.Duration {
+	return m.clock.Now() - r.DetectedAt
+}

@@ -1,0 +1,63 @@
+package android_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/android"
+	"repro/internal/simclock"
+	"repro/internal/telephony"
+)
+
+// The paper's motivating decision: a strong 4G cell versus a weak 5G cell.
+// Android 10 blindly takes the 5G; the stability-compatible policy does not.
+func ExampleAndroid10Policy_Select() {
+	options := []android.RATOption{
+		{RAT: telephony.RAT4G, Level: telephony.Level4},
+		{RAT: telephony.RAT5G, Level: telephony.Level0},
+	}
+	current := options[0]
+	risk := func(o android.RATOption) float64 {
+		return []float64{3.2, 2.1, 1.5, 1.1, 0.75, 0.55}[o.Level]
+	}
+
+	a10 := android.Android10Policy{}
+	stable := android.StabilityCompatiblePolicy{Risk: risk}
+	fmt.Println("android10 picks:", options[a10.Select(&current, options)].RAT)
+	fmt.Println("stability picks:", options[stable.Select(&current, options)].RAT)
+	// Output:
+	// android10 picks: 5G
+	// stability picks: 4G
+}
+
+// The three-stage recovery engine under vanilla Android's one-minute
+// probations: a stall that never self-heals is fixed by the first-stage
+// cleanup, one minute plus the operation's overhead after detection.
+func ExampleRecoveryEngine() {
+	clock := simclock.NewScheduler()
+	exec := execFunc(func(op android.RecoveryOp, done func(bool)) {
+		clock.After(500*time.Millisecond, func() { done(true) })
+	})
+	engine := android.NewRecoveryEngine(clock, android.DefaultFixedTrigger, exec,
+		func(res android.Resolution) {
+			fmt.Printf("resolved by %v after %v (%d op)\n", res.By, res.Duration, res.OpsExecuted)
+		})
+	engine.Start()
+	clock.RunAll()
+	// Output:
+	// resolved by op1-cleanup after 1m0.5s (1 op)
+}
+
+type execFunc func(android.RecoveryOp, func(bool))
+
+func (f execFunc) Execute(op android.RecoveryOp, done func(bool)) { f(op, done) }
+
+// Dual connectivity shortens only the 4G/5G transition window.
+func ExampleDualConnectivity_TransitionWindow() {
+	d := android.DualConnectivity{Enabled: true}
+	fmt.Println(d.TransitionWindow(8*time.Second, telephony.RAT4G, telephony.RAT5G))
+	fmt.Println(d.TransitionWindow(8*time.Second, telephony.RAT3G, telephony.RAT4G))
+	// Output:
+	// 2s
+	// 8s
+}

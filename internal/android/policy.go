@@ -1,0 +1,194 @@
+package android
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/telephony"
+)
+
+// RATOption is one camping choice available to the RAT selection policy:
+// a radio access technology with its current signal level.
+type RATOption struct {
+	RAT   telephony.RAT
+	Level telephony.SignalLevel
+}
+
+// RiskFunc estimates the relative likelihood of cellular failures for an
+// option. The stability-compatible policy consults it; the fleet wires it
+// to the simulated environment's calibrated hazards (Figure 16).
+type RiskFunc func(RATOption) float64
+
+// RATPolicy decides which available option a device camps on. current is
+// nil when the device is acquiring service from scratch. Select returns an
+// index into opts, which is always non-empty.
+type RATPolicy interface {
+	Name() string
+	Select(current *RATOption, opts []RATOption) int
+}
+
+// Android9Policy is the pre-5G policy: prefer the highest generation the
+// device supports (at most 4G — Android 9 does not support 5G), breaking
+// ties by signal level.
+type Android9Policy struct{}
+
+// Name implements RATPolicy.
+func (Android9Policy) Name() string { return "android9" }
+
+// Select implements RATPolicy.
+func (Android9Policy) Select(_ *RATOption, opts []RATOption) int {
+	best := -1
+	for i, o := range opts {
+		if o.RAT == telephony.RAT5G {
+			continue // not supported by Android 9
+		}
+		if best < 0 || betterByGenerationThenLevel(o, opts[best]) {
+			best = i
+		}
+	}
+	if best < 0 {
+		best = 0 // only 5G offered; camp anyway rather than lose service
+	}
+	return best
+}
+
+// Android10Policy reproduces the RAT selection the paper criticizes: 5G is
+// blindly preferred over every other RAT regardless of signal level, to
+// maximize potential peak bandwidth (§3.2).
+type Android10Policy struct{}
+
+// Name implements RATPolicy.
+func (Android10Policy) Name() string { return "android10" }
+
+// Select implements RATPolicy.
+func (Android10Policy) Select(_ *RATOption, opts []RATOption) int {
+	best := -1
+	for i, o := range opts {
+		if o.RAT == telephony.RAT5G {
+			if best < 0 || opts[best].RAT != telephony.RAT5G || o.Level > opts[best].Level {
+				best = i
+			}
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	for i, o := range opts {
+		if best < 0 || betterByGenerationThenLevel(o, opts[best]) {
+			best = i
+		}
+	}
+	return best
+}
+
+// Never5GPolicy is an ablation policy that always avoids 5G.
+type Never5GPolicy struct{}
+
+// Name implements RATPolicy.
+func (Never5GPolicy) Name() string { return "never5g" }
+
+// Select implements RATPolicy.
+func (Never5GPolicy) Select(cur *RATOption, opts []RATOption) int {
+	return Android9Policy{}.Select(cur, opts)
+}
+
+// StabilityCompatiblePolicy is the paper's enhancement (§4.2): it
+// judiciously weighs the likelihood of cellular failures against the
+// potential data-rate gain instead of blindly preferring 5G. In
+// particular it refuses the four drastic transitions 4G level-1..4 →
+// 5G level-0 (Figure 17f) and, generally, any transition into level-0
+// signal when the current option has usable signal — such transitions
+// raise failure likelihood sharply while the extremely weak target signal
+// cannot deliver a better data rate anyway.
+type StabilityCompatiblePolicy struct {
+	// Risk estimates failure likelihood per option; required.
+	Risk RiskFunc
+	// RiskTolerance is the multiplicative risk increase accepted in
+	// exchange for one RAT generation upgrade (default 1.35).
+	RiskTolerance float64
+}
+
+// Name implements RATPolicy.
+func (p StabilityCompatiblePolicy) Name() string { return "stability-compatible" }
+
+// Select implements RATPolicy.
+func (p StabilityCompatiblePolicy) Select(current *RATOption, opts []RATOption) int {
+	tol := p.RiskTolerance
+	if tol <= 0 {
+		tol = 1.35
+	}
+	best := -1
+	var bestScore float64
+	for i, o := range opts {
+		// Undesirable transition: target has level-0 RSS while we hold a
+		// usable connection. Skip unless nothing else exists.
+		if current != nil && o.Level == telephony.Level0 && current.Level > telephony.Level0 &&
+			!(o.RAT == current.RAT && o.Level == current.Level) {
+			continue
+		}
+		score := p.score(o, tol)
+		if best < 0 || score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	if best < 0 {
+		// Everything was filtered; fall back to lowest-risk option.
+		for i, o := range opts {
+			r := p.Risk(o)
+			if best < 0 || r < bestScore {
+				best, bestScore = i, r
+			}
+		}
+	}
+	return best
+}
+
+// score trades generation (throughput potential) against failure risk:
+// each generation step is worth a tol× risk increase, so
+// score = gen − log(risk)/log(tol).
+func (p StabilityCompatiblePolicy) score(o RATOption, tol float64) float64 {
+	risk := p.Risk(o)
+	if risk <= 0 {
+		risk = 1e-9
+	}
+	return float64(o.RAT.Generation()) - math.Log(risk)/math.Log(tol)
+}
+
+func betterByGenerationThenLevel(a, b RATOption) bool {
+	if a.RAT.Generation() != b.RAT.Generation() {
+		return a.RAT.Generation() > b.RAT.Generation()
+	}
+	return a.Level > b.Level
+}
+
+// DualConnectivity models the 3GPP 4G/5G dual-connectivity mechanism
+// (TS 37.340): compatible devices keep control-plane connections to a 4G
+// and a 5G BS simultaneously, with the master also carrying data-plane
+// traffic, so a decided RAT transition completes much faster.
+type DualConnectivity struct {
+	// Enabled marks device support (all four 5G models in Table 1).
+	Enabled bool
+	// SpeedUp divides the transition window when dual connectivity
+	// applies (default 4).
+	SpeedUp float64
+}
+
+// TransitionWindow returns the duration during which a RAT transition
+// exposes the device to transition failures. Dual connectivity shortens
+// the 4G↔5G window by SpeedUp.
+func (d DualConnectivity) TransitionWindow(base time.Duration, from, to telephony.RAT) time.Duration {
+	if !d.Enabled {
+		return base
+	}
+	pair := func(a, b telephony.RAT) bool {
+		return (from == a && to == b) || (from == b && to == a)
+	}
+	if pair(telephony.RAT4G, telephony.RAT5G) {
+		s := d.SpeedUp
+		if s <= 1 {
+			s = 4
+		}
+		return time.Duration(float64(base) / s)
+	}
+	return base
+}

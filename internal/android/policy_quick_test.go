@@ -1,0 +1,108 @@
+package android
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/telephony"
+)
+
+// genOptions converts fuzz bytes into a non-empty, valid option list.
+func genOptions(raw []byte) []RATOption {
+	if len(raw) == 0 {
+		raw = []byte{0}
+	}
+	opts := make([]RATOption, 0, len(raw))
+	for _, b := range raw {
+		opts = append(opts, RATOption{
+			RAT:   telephony.AllRATs[int(b>>4)%len(telephony.AllRATs)],
+			Level: telephony.SignalLevel(int(b) % int(telephony.NumSignalLevels)),
+		})
+	}
+	return opts
+}
+
+// Property: every policy returns an in-range index for arbitrary inputs,
+// with and without a current option.
+func TestPoliciesTotalOnArbitraryOptions(t *testing.T) {
+	risk := func(o RATOption) float64 {
+		return float64(6-int(o.Level)) * float64(o.RAT.Generation())
+	}
+	policies := []RATPolicy{
+		Android9Policy{},
+		Android10Policy{},
+		Never5GPolicy{},
+		StabilityCompatiblePolicy{Risk: risk},
+		StabilityCompatiblePolicy{Risk: func(RATOption) float64 { return 0 }}, // degenerate risk
+	}
+	f := func(raw []byte, curByte byte, haveCur bool) bool {
+		opts := genOptions(raw)
+		var cur *RATOption
+		if haveCur {
+			c := genOptions([]byte{curByte})[0]
+			cur = &c
+		}
+		for _, p := range policies {
+			idx := p.Select(cur, opts)
+			if idx < 0 || idx >= len(opts) {
+				t.Logf("policy %s returned %d for %d options", p.Name(), idx, len(opts))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Android 10 picks 5G whenever any 5G option exists.
+func TestAndroid10Always5GWhenAvailable(t *testing.T) {
+	p := Android10Policy{}
+	f := func(raw []byte, lvl byte) bool {
+		opts := genOptions(raw)
+		opts = append(opts, RATOption{RAT: telephony.RAT5G, Level: telephony.SignalLevel(int(lvl) % 6)})
+		return opts[p.Select(nil, opts)].RAT == telephony.RAT5G
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Never5G never selects 5G unless nothing else exists.
+func TestNever5GProperty(t *testing.T) {
+	p := Never5GPolicy{}
+	f := func(raw []byte) bool {
+		opts := genOptions(raw)
+		pick := opts[p.Select(nil, opts)]
+		if pick.RAT != telephony.RAT5G {
+			return true
+		}
+		for _, o := range opts {
+			if o.RAT != telephony.RAT5G {
+				return false // a non-5G option existed but 5G was chosen
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the stability policy never moves from a usable current camp
+// into a level-0 target when any alternative (including staying) exists.
+func TestStabilityNeverIntoLevelZeroProperty(t *testing.T) {
+	risk := func(o RATOption) float64 { return float64(6 - int(o.Level)) }
+	p := StabilityCompatiblePolicy{Risk: risk}
+	f := func(raw []byte) bool {
+		opts := genOptions(raw)
+		cur := RATOption{RAT: telephony.RAT4G, Level: telephony.Level3}
+		opts = append(opts, cur) // staying is possible
+		pick := opts[p.Select(&cur, opts)]
+		return !(pick.Level == telephony.Level0 && !(pick.RAT == cur.RAT && pick.Level == cur.Level))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,201 @@
+package android
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/telephony"
+)
+
+func opt(rat telephony.RAT, lvl telephony.SignalLevel) RATOption {
+	return RATOption{RAT: rat, Level: lvl}
+}
+
+// testRisk mirrors the shape of the measured hazards: risk falls with
+// signal level; 5G carries extra risk.
+func testRisk(o RATOption) float64 {
+	base := []float64{3.2, 2.1, 1.5, 1.1, 0.75, 0.55}[o.Level]
+	if o.RAT == telephony.RAT5G {
+		base *= 1.6
+	}
+	return base
+}
+
+func TestAndroid9Ignores5G(t *testing.T) {
+	p := Android9Policy{}
+	opts := []RATOption{
+		opt(telephony.RAT5G, telephony.Level5),
+		opt(telephony.RAT4G, telephony.Level2),
+		opt(telephony.RAT3G, telephony.Level5),
+	}
+	if got := p.Select(nil, opts); opts[got].RAT != telephony.RAT4G {
+		t.Errorf("Android 9 selected %v, want 4G", opts[got].RAT)
+	}
+}
+
+func TestAndroid9TieBreakByLevel(t *testing.T) {
+	p := Android9Policy{}
+	opts := []RATOption{
+		opt(telephony.RAT4G, telephony.Level1),
+		opt(telephony.RAT4G, telephony.Level4),
+	}
+	if got := p.Select(nil, opts); got != 1 {
+		t.Errorf("selected level-%d, want the stronger 4G cell", opts[got].Level)
+	}
+}
+
+func TestAndroid9Only5GAvailable(t *testing.T) {
+	p := Android9Policy{}
+	opts := []RATOption{opt(telephony.RAT5G, telephony.Level3)}
+	if got := p.Select(nil, opts); got != 0 {
+		t.Error("with only 5G offered, must still return a valid index")
+	}
+}
+
+func TestAndroid10BlindlyPrefers5G(t *testing.T) {
+	p := Android10Policy{}
+	// The paper's motivating case: weak 5G vs strong 4G. Android 10 picks
+	// the weak 5G anyway.
+	opts := []RATOption{
+		opt(telephony.RAT4G, telephony.Level4),
+		opt(telephony.RAT5G, telephony.Level0),
+	}
+	if got := p.Select(&opts[0], opts); opts[got].RAT != telephony.RAT5G {
+		t.Error("Android 10 must blindly prefer 5G")
+	}
+}
+
+func TestAndroid10FallsBackWithout5G(t *testing.T) {
+	p := Android10Policy{}
+	opts := []RATOption{
+		opt(telephony.RAT2G, telephony.Level5),
+		opt(telephony.RAT4G, telephony.Level1),
+	}
+	if got := p.Select(nil, opts); opts[got].RAT != telephony.RAT4G {
+		t.Errorf("without 5G, Android 10 behaves like 9; got %v", opts[got].RAT)
+	}
+}
+
+func TestAndroid10PicksStrongest5G(t *testing.T) {
+	p := Android10Policy{}
+	opts := []RATOption{
+		opt(telephony.RAT5G, telephony.Level1),
+		opt(telephony.RAT5G, telephony.Level4),
+	}
+	if got := p.Select(nil, opts); got != 1 {
+		t.Error("should pick the stronger 5G cell")
+	}
+}
+
+func TestStabilityCompatibleAvoidsBadTransitions(t *testing.T) {
+	p := StabilityCompatiblePolicy{Risk: testRisk}
+	// All four drastic cases of Figure 17f: 4G level 1-4 → 5G level-0.
+	for lvl := telephony.Level1; lvl <= telephony.Level4; lvl++ {
+		cur := opt(telephony.RAT4G, lvl)
+		opts := []RATOption{cur, opt(telephony.RAT5G, telephony.Level0)}
+		if got := p.Select(&cur, opts); opts[got].RAT == telephony.RAT5G {
+			t.Errorf("accepted 4G level-%d → 5G level-0 transition", lvl)
+		}
+	}
+}
+
+func TestStabilityCompatibleAccepts5GWithGoodSignal(t *testing.T) {
+	p := StabilityCompatiblePolicy{Risk: testRisk}
+	cur := opt(telephony.RAT4G, telephony.Level2)
+	opts := []RATOption{cur, opt(telephony.RAT5G, telephony.Level4)}
+	if got := p.Select(&cur, opts); opts[got].RAT != telephony.RAT5G {
+		t.Error("should upgrade to strong 5G (no stability downside)")
+	}
+}
+
+func TestStabilityCompatibleNoCurrentConnection(t *testing.T) {
+	p := StabilityCompatiblePolicy{Risk: testRisk}
+	// From scratch (current == nil) even a level-0 option is allowed if
+	// it is all there is.
+	opts := []RATOption{opt(telephony.RAT4G, telephony.Level0)}
+	if got := p.Select(nil, opts); got != 0 {
+		t.Error("must return a valid index for the only option")
+	}
+}
+
+func TestStabilityCompatibleAllFiltered(t *testing.T) {
+	p := StabilityCompatiblePolicy{Risk: testRisk}
+	cur := opt(telephony.RAT4G, telephony.Level3)
+	// Every alternative is level-0; fall back to lowest risk rather than
+	// returning an invalid index. (current itself stays selectable.)
+	opts := []RATOption{
+		opt(telephony.RAT5G, telephony.Level0),
+		opt(telephony.RAT2G, telephony.Level0),
+	}
+	got := p.Select(&cur, opts)
+	if got < 0 || got >= len(opts) {
+		t.Fatalf("invalid index %d", got)
+	}
+	if opts[got].RAT != telephony.RAT2G {
+		t.Errorf("fallback should pick lowest-risk option, got %v", opts[got].RAT)
+	}
+}
+
+func TestStabilityCompatiblePrefersLowRiskAtEqualGen(t *testing.T) {
+	p := StabilityCompatiblePolicy{Risk: testRisk}
+	opts := []RATOption{
+		opt(telephony.RAT4G, telephony.Level1),
+		opt(telephony.RAT4G, telephony.Level4),
+	}
+	if got := p.Select(nil, opts); got != 1 {
+		t.Error("equal generation: lower risk must win")
+	}
+}
+
+func TestStabilityCompatibleRejectsRiskyUpgrade(t *testing.T) {
+	// Weak 5G (level-1) vs strong 4G (level-4): risk ratio
+	// (2.1*1.6)/0.75 ≈ 4.5 exceeds one generation's tolerance.
+	p := StabilityCompatiblePolicy{Risk: testRisk, RiskTolerance: 1.35}
+	cur := opt(telephony.RAT4G, telephony.Level4)
+	opts := []RATOption{cur, opt(telephony.RAT5G, telephony.Level1)}
+	if got := p.Select(&cur, opts); opts[got].RAT == telephony.RAT5G {
+		t.Error("risky 5G upgrade should be rejected")
+	}
+}
+
+func TestNever5G(t *testing.T) {
+	p := Never5GPolicy{}
+	opts := []RATOption{
+		opt(telephony.RAT5G, telephony.Level5),
+		opt(telephony.RAT3G, telephony.Level1),
+	}
+	if got := p.Select(nil, opts); opts[got].RAT == telephony.RAT5G {
+		t.Error("Never5G selected 5G")
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	if (Android9Policy{}).Name() != "android9" ||
+		(Android10Policy{}).Name() != "android10" ||
+		(StabilityCompatiblePolicy{}).Name() != "stability-compatible" ||
+		(Never5GPolicy{}).Name() != "never5g" {
+		t.Error("unexpected policy names")
+	}
+}
+
+func TestDualConnectivityWindow(t *testing.T) {
+	base := 8 * time.Second
+	off := DualConnectivity{}
+	if off.TransitionWindow(base, telephony.RAT4G, telephony.RAT5G) != base {
+		t.Error("disabled dual connectivity must not shorten the window")
+	}
+	on := DualConnectivity{Enabled: true}
+	if got := on.TransitionWindow(base, telephony.RAT4G, telephony.RAT5G); got != 2*time.Second {
+		t.Errorf("4G→5G window = %v, want base/4", got)
+	}
+	if got := on.TransitionWindow(base, telephony.RAT5G, telephony.RAT4G); got != 2*time.Second {
+		t.Errorf("5G→4G window = %v, want base/4", got)
+	}
+	if got := on.TransitionWindow(base, telephony.RAT3G, telephony.RAT4G); got != base {
+		t.Errorf("3G→4G window = %v; dual connectivity only covers 4G/5G", got)
+	}
+	custom := DualConnectivity{Enabled: true, SpeedUp: 2}
+	if got := custom.TransitionWindow(base, telephony.RAT4G, telephony.RAT5G); got != 4*time.Second {
+		t.Errorf("custom speed-up window = %v, want base/2", got)
+	}
+}

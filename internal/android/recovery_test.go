@@ -1,0 +1,245 @@
+package android
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+// scriptExecutor executes ops with scripted outcomes after fixed overheads.
+type scriptExecutor struct {
+	clock     *simclock.Scheduler
+	overheads [NumRecoveryOps]time.Duration
+	outcomes  []bool // per executed op, in order
+	executed  []RecoveryOp
+}
+
+func (e *scriptExecutor) Execute(op RecoveryOp, done func(bool)) {
+	e.executed = append(e.executed, op)
+	fixed := false
+	if len(e.executed)-1 < len(e.outcomes) {
+		fixed = e.outcomes[len(e.executed)-1]
+	}
+	e.clock.After(e.overheads[op-1], func() { done(fixed) })
+}
+
+func defaultOverheads() [NumRecoveryOps]time.Duration {
+	return [NumRecoveryOps]time.Duration{500 * time.Millisecond, 2 * time.Second, 6 * time.Second}
+}
+
+func newEngine(t *testing.T, trig Trigger, outcomes []bool) (*simclock.Scheduler, *RecoveryEngine, *scriptExecutor, *[]Resolution) {
+	t.Helper()
+	clock := simclock.NewScheduler()
+	exec := &scriptExecutor{clock: clock, overheads: defaultOverheads(), outcomes: outcomes}
+	var resolutions []Resolution
+	e := NewRecoveryEngine(clock, trig, exec, func(r Resolution) { resolutions = append(resolutions, r) })
+	return clock, e, exec, &resolutions
+}
+
+func TestAutoRecoveryDuringFirstProbation(t *testing.T) {
+	clock, e, exec, res := newEngine(t, DefaultFixedTrigger, nil)
+	e.Start()
+	clock.After(10*time.Second, func() { e.NotifyResolved(ResolvedAuto) })
+	clock.RunAll()
+	if len(*res) != 1 {
+		t.Fatalf("resolutions = %d, want 1", len(*res))
+	}
+	r := (*res)[0]
+	if r.By != ResolvedAuto || r.Duration != 10*time.Second || r.OpsExecuted != 0 {
+		t.Errorf("resolution = %+v", r)
+	}
+	if len(exec.executed) != 0 {
+		t.Error("no op should have run before the probation expired")
+	}
+	if e.Active() {
+		t.Error("engine still active after resolution")
+	}
+}
+
+func TestFirstStageFixes(t *testing.T) {
+	clock, e, exec, res := newEngine(t, DefaultFixedTrigger, []bool{true})
+	e.Start()
+	clock.RunAll()
+	if len(*res) != 1 {
+		t.Fatalf("resolutions = %d", len(*res))
+	}
+	r := (*res)[0]
+	if r.By != ResolvedOp1 || r.OpsExecuted != 1 {
+		t.Errorf("resolution = %+v, want op1 fix", r)
+	}
+	// Duration = Pro0 (60s) + O1 (0.5s).
+	if r.Duration != 60*time.Second+500*time.Millisecond {
+		t.Errorf("duration = %v, want 60.5s", r.Duration)
+	}
+	if len(exec.executed) != 1 || exec.executed[0] != OpCleanupConnection {
+		t.Errorf("executed = %v", exec.executed)
+	}
+}
+
+func TestProgressionThroughAllStages(t *testing.T) {
+	clock, e, exec, res := newEngine(t, DefaultFixedTrigger, []bool{false, false, true})
+	e.Start()
+	clock.RunAll()
+	if len(exec.executed) != 3 {
+		t.Fatalf("executed ops = %v, want all three stages", exec.executed)
+	}
+	want := []RecoveryOp{OpCleanupConnection, OpReregister, OpRestartRadio}
+	for i, op := range want {
+		if exec.executed[i] != op {
+			t.Fatalf("op order = %v, want %v", exec.executed, want)
+		}
+	}
+	r := (*res)[0]
+	if r.By != ResolvedOp3 || r.OpsExecuted != 3 {
+		t.Errorf("resolution = %+v", r)
+	}
+	// Duration = 60 + 0.5 + 60 + 2 + 60 + 6 = 188.5s. The vanilla default
+	// takes over three minutes to escalate — the inefficiency the paper
+	// measures.
+	wantDur := 188*time.Second + 500*time.Millisecond
+	if r.Duration != wantDur {
+		t.Errorf("duration = %v, want %v", r.Duration, wantDur)
+	}
+}
+
+func TestTIMPTriggerShortensRecovery(t *testing.T) {
+	clock, e, _, res := newEngine(t, PaperTIMPTrigger, []bool{true})
+	e.Start()
+	clock.RunAll()
+	r := (*res)[0]
+	// Duration = Pro0 (21s) + O1 (0.5s).
+	if r.Duration != 21*time.Second+500*time.Millisecond {
+		t.Errorf("duration = %v, want 21.5s with the TIMP trigger", r.Duration)
+	}
+}
+
+func TestAllStagesFailThenExternalRecovery(t *testing.T) {
+	clock, e, exec, res := newEngine(t, PaperTIMPTrigger, []bool{false, false, false})
+	e.Start()
+	clock.RunAll() // all ops executed and failed; engine waits
+	if len(*res) != 0 {
+		t.Fatal("episode should still be open after all ops fail")
+	}
+	if !e.Active() {
+		t.Fatal("engine should remain active")
+	}
+	clock.After(time.Hour, func() { e.NotifyResolved(ResolvedAuto) })
+	clock.RunAll()
+	if len(*res) != 1 {
+		t.Fatalf("resolutions = %d", len(*res))
+	}
+	if (*res)[0].OpsExecuted != 3 {
+		t.Errorf("OpsExecuted = %d, want 3", (*res)[0].OpsExecuted)
+	}
+	_ = exec
+}
+
+func TestUserResetDuringProbation(t *testing.T) {
+	clock, e, _, res := newEngine(t, DefaultFixedTrigger, nil)
+	e.Start()
+	clock.After(30*time.Second, func() { e.NotifyResolved(ResolvedUserReset) })
+	clock.RunAll()
+	r := (*res)[0]
+	if r.By != ResolvedUserReset || r.Duration != 30*time.Second {
+		t.Errorf("resolution = %+v", r)
+	}
+}
+
+func TestExternalResolutionWhileOpExecuting(t *testing.T) {
+	clock, e, _, res := newEngine(t, ProfileTrigger{time.Second, time.Second, time.Second}, []bool{true})
+	e.Start()
+	// Op starts at t=1s, completes at 1.5s; auto-recovery lands at 1.2s.
+	clock.After(1200*time.Millisecond, func() { e.NotifyResolved(ResolvedAuto) })
+	clock.RunAll()
+	if len(*res) != 1 {
+		t.Fatalf("resolutions = %d, want exactly 1 (op completion ignored)", len(*res))
+	}
+	if (*res)[0].By != ResolvedAuto {
+		t.Errorf("resolved by %v, want auto", (*res)[0].By)
+	}
+}
+
+func TestNotifyResolvedWhenIdleIsNoOp(t *testing.T) {
+	_, e, _, res := newEngine(t, DefaultFixedTrigger, nil)
+	e.NotifyResolved(ResolvedAuto)
+	if len(*res) != 0 {
+		t.Error("idle NotifyResolved produced a resolution")
+	}
+}
+
+func TestStartIdempotentWhileActive(t *testing.T) {
+	clock, e, exec, _ := newEngine(t, ProfileTrigger{time.Second, time.Second, time.Second}, []bool{true})
+	e.Start()
+	clock.Run(500 * time.Millisecond)
+	e.Start() // ignored; must not reset the probation
+	clock.RunAll()
+	if len(exec.executed) != 1 {
+		t.Fatalf("double Start perturbed the engine: %v", exec.executed)
+	}
+}
+
+func TestEngineReusableAcrossEpisodes(t *testing.T) {
+	clock, e, _, res := newEngine(t, PaperTIMPTrigger, []bool{true, true})
+	e.Start()
+	clock.RunAll()
+	e.Start()
+	clock.RunAll()
+	if len(*res) != 2 {
+		t.Fatalf("resolutions = %d, want 2", len(*res))
+	}
+	if (*res)[1].By != ResolvedOp1 {
+		t.Errorf("second episode resolution = %+v", (*res)[1])
+	}
+}
+
+func TestTriggerAccessors(t *testing.T) {
+	if DefaultFixedTrigger.Probation(0) != time.Minute || DefaultFixedTrigger.Probation(2) != time.Minute {
+		t.Error("fixed trigger should always return one minute")
+	}
+	if DefaultFixedTrigger.Name() != "fixed" || PaperTIMPTrigger.Name() != "timp" {
+		t.Error("bad trigger names")
+	}
+	if PaperTIMPTrigger.Probation(0) != 21*time.Second ||
+		PaperTIMPTrigger.Probation(1) != 6*time.Second ||
+		PaperTIMPTrigger.Probation(2) != 16*time.Second {
+		t.Error("paper TIMP trigger values wrong")
+	}
+	// Out-of-range stages clamp to the last probation.
+	if PaperTIMPTrigger.Probation(5) != 16*time.Second || PaperTIMPTrigger.Probation(-1) != 16*time.Second {
+		t.Error("out-of-range stage should clamp")
+	}
+}
+
+func TestRecoveryOpStrings(t *testing.T) {
+	if OpCleanupConnection.String() != "cleanup-connection" ||
+		OpReregister.String() != "re-register" ||
+		OpRestartRadio.String() != "restart-radio" {
+		t.Error("bad op strings")
+	}
+	if RecoveryOp(9).String() != "op-9" {
+		t.Error("unknown op string")
+	}
+}
+
+func TestResolvedByStrings(t *testing.T) {
+	cases := map[ResolvedBy]string{
+		ResolvedAuto: "auto", ResolvedOp1: "op1-cleanup", ResolvedOp2: "op2-reregister",
+		ResolvedOp3: "op3-radio-restart", ResolvedUserReset: "user-reset",
+		ResolvedGiveUp: "gave-up", ResolvedNone: "none",
+	}
+	for by, s := range cases {
+		if by.String() != s {
+			t.Errorf("%d.String() = %q, want %q", by, by.String(), s)
+		}
+	}
+}
+
+func TestNilEngineDependenciesPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil trigger did not panic")
+		}
+	}()
+	NewRecoveryEngine(simclock.NewScheduler(), nil, &scriptExecutor{}, nil)
+}

@@ -1,0 +1,125 @@
+package android
+
+import (
+	"time"
+
+	"repro/internal/simclock"
+	"repro/internal/telephony"
+)
+
+// ServiceHooks receives service-state events. Nil fields are skipped.
+type ServiceHooks struct {
+	// OnStateChange fires on every registration-state transition.
+	OnStateChange func(from, to telephony.ServiceState)
+	// OnOutOfServiceEnd fires when service returns, with the outage
+	// duration — the Out_of_Service episode the monitoring service
+	// records.
+	OnOutOfServiceEnd func(duration time.Duration)
+}
+
+// ServiceTracker mirrors Android's ServiceStateTracker: it maintains the
+// device's registration state and reports Out_of_Service episodes. Vanilla
+// Android exposes the Out_of_Service checker to apps (§2.1); the episode
+// timing, however, needs the system-level hooks this tracker provides.
+type ServiceTracker struct {
+	clock *simclock.Scheduler
+	hooks ServiceHooks
+
+	state      telephony.ServiceState
+	oosStart   simclock.Time
+	recoverTmr *simclock.Timer
+}
+
+// NewServiceTracker starts in-service.
+func NewServiceTracker(clock *simclock.Scheduler, hooks ServiceHooks) *ServiceTracker {
+	if clock == nil {
+		panic("android: nil clock")
+	}
+	return &ServiceTracker{clock: clock, hooks: hooks, state: telephony.StateInService}
+}
+
+// State returns the current registration state.
+func (t *ServiceTracker) State() telephony.ServiceState { return t.state }
+
+// InService reports whether cellular service is available.
+func (t *ServiceTracker) InService() bool { return t.state == telephony.StateInService }
+
+func (t *ServiceTracker) setState(s telephony.ServiceState) {
+	if t.state == s {
+		return
+	}
+	from := t.state
+	t.state = s
+	if t.hooks.OnStateChange != nil {
+		t.hooks.OnStateChange(from, s)
+	}
+	switch {
+	case s == telephony.StateOutOfService || s == telephony.StateEmergencyOnly:
+		if from == telephony.StateInService {
+			t.oosStart = t.clock.Now()
+		}
+	case s == telephony.StateInService && (from == telephony.StateOutOfService || from == telephony.StateEmergencyOnly):
+		if t.hooks.OnOutOfServiceEnd != nil {
+			t.hooks.OnOutOfServiceEnd(t.clock.Now() - t.oosStart)
+		}
+	}
+}
+
+// LoseService drops registration; if expectedOutage is positive, service
+// returns automatically after it (the network side healing). A zero
+// expectedOutage leaves the device out of service until RegainService.
+func (t *ServiceTracker) LoseService(expectedOutage time.Duration, emergencyOnly bool) {
+	if t.state == telephony.StatePowerOff {
+		return
+	}
+	target := telephony.StateOutOfService
+	if emergencyOnly {
+		target = telephony.StateEmergencyOnly
+	}
+	t.setState(target)
+	if t.recoverTmr != nil {
+		t.recoverTmr.Stop()
+	}
+	if expectedOutage > 0 {
+		t.recoverTmr = t.clock.After(expectedOutage, func() { t.RegainService() })
+	}
+}
+
+// RegainService restores registration (no-op when powered off or already
+// in service).
+func (t *ServiceTracker) RegainService() {
+	if t.state == telephony.StatePowerOff {
+		return
+	}
+	if t.recoverTmr != nil {
+		t.recoverTmr.Stop()
+	}
+	t.setState(telephony.StateInService)
+}
+
+// PowerOff models airplane mode / radio power-down; a pending automatic
+// recovery is cancelled and the interrupted outage is not reported (the
+// user turned the radio off — a false positive the monitor must not see).
+func (t *ServiceTracker) PowerOff() {
+	if t.recoverTmr != nil {
+		t.recoverTmr.Stop()
+	}
+	// Suppress the OOS-end report: go to PowerOff directly.
+	from := t.state
+	t.state = telephony.StatePowerOff
+	if from != telephony.StatePowerOff && t.hooks.OnStateChange != nil {
+		t.hooks.OnStateChange(from, telephony.StatePowerOff)
+	}
+}
+
+// PowerOn restores the radio into service.
+func (t *ServiceTracker) PowerOn() {
+	if t.state != telephony.StatePowerOff {
+		return
+	}
+	from := t.state
+	t.state = telephony.StateInService
+	if t.hooks.OnStateChange != nil {
+		t.hooks.OnStateChange(from, telephony.StateInService)
+	}
+}

@@ -1,0 +1,196 @@
+package android
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/simclock"
+	"repro/internal/telephony"
+)
+
+func newTracker(t *testing.T) (*simclock.Scheduler, *ServiceTracker, *[]time.Duration, *[][2]telephony.ServiceState) {
+	t.Helper()
+	clock := simclock.NewScheduler()
+	var outages []time.Duration
+	var transitions [][2]telephony.ServiceState
+	tr := NewServiceTracker(clock, ServiceHooks{
+		OnStateChange: func(from, to telephony.ServiceState) {
+			transitions = append(transitions, [2]telephony.ServiceState{from, to})
+		},
+		OnOutOfServiceEnd: func(d time.Duration) { outages = append(outages, d) },
+	})
+	return clock, tr, &outages, &transitions
+}
+
+func TestServiceTrackerAutoRecovery(t *testing.T) {
+	clock, tr, outages, _ := newTracker(t)
+	if !tr.InService() {
+		t.Fatal("should start in service")
+	}
+	clock.At(time.Minute, func() { tr.LoseService(45*time.Second, false) })
+	clock.RunAll()
+	if !tr.InService() {
+		t.Fatal("service did not auto-recover")
+	}
+	if len(*outages) != 1 || (*outages)[0] != 45*time.Second {
+		t.Errorf("outages = %v, want one 45s episode", *outages)
+	}
+}
+
+func TestServiceTrackerManualRecovery(t *testing.T) {
+	clock, tr, outages, _ := newTracker(t)
+	clock.At(time.Second, func() { tr.LoseService(0, false) })
+	clock.At(31*time.Second, func() { tr.RegainService() })
+	clock.RunAll()
+	if len(*outages) != 1 || (*outages)[0] != 30*time.Second {
+		t.Errorf("outages = %v, want one 30s episode", *outages)
+	}
+}
+
+func TestServiceTrackerEmergencyOnlyCountsAsOutage(t *testing.T) {
+	clock, tr, outages, _ := newTracker(t)
+	clock.At(time.Second, func() { tr.LoseService(10*time.Second, true) })
+	clock.Run(2 * time.Second)
+	if tr.State() != telephony.StateEmergencyOnly {
+		t.Fatalf("state = %v", tr.State())
+	}
+	clock.RunAll()
+	if len(*outages) != 1 || (*outages)[0] != 10*time.Second {
+		t.Errorf("outages = %v", *outages)
+	}
+}
+
+func TestServiceTrackerPowerOffSuppressesReport(t *testing.T) {
+	clock, tr, outages, _ := newTracker(t)
+	clock.At(time.Second, func() { tr.LoseService(time.Hour, false) })
+	clock.At(10*time.Second, func() { tr.PowerOff() })
+	clock.RunAll()
+	if len(*outages) != 0 {
+		t.Errorf("power-off should suppress the OOS report, got %v", *outages)
+	}
+	if tr.State() != telephony.StatePowerOff {
+		t.Errorf("state = %v", tr.State())
+	}
+	// While off, losing/regaining service is a no-op.
+	tr.LoseService(time.Second, false)
+	if tr.State() != telephony.StatePowerOff {
+		t.Error("LoseService while off changed state")
+	}
+	tr.RegainService()
+	if tr.State() != telephony.StatePowerOff {
+		t.Error("RegainService while off changed state")
+	}
+	tr.PowerOn()
+	if !tr.InService() {
+		t.Error("PowerOn should restore service")
+	}
+	// The pending auto-recovery timer must not fire a stale report.
+	clock.RunAll()
+	if len(*outages) != 0 {
+		t.Errorf("stale recovery fired: %v", *outages)
+	}
+}
+
+func TestServiceTrackerRepeatedLoseExtends(t *testing.T) {
+	clock, tr, outages, _ := newTracker(t)
+	clock.At(time.Second, func() { tr.LoseService(10*time.Second, false) })
+	// A second loss report at t=5s extends the outage; the episode is one.
+	clock.At(5*time.Second, func() { tr.LoseService(20*time.Second, false) })
+	clock.RunAll()
+	if len(*outages) != 1 {
+		t.Fatalf("outages = %v, want a single merged episode", *outages)
+	}
+	if (*outages)[0] != 24*time.Second {
+		t.Errorf("merged outage = %v, want 24s (1s..25s)", (*outages)[0])
+	}
+}
+
+func TestServiceTrackerTransitionsObserved(t *testing.T) {
+	clock, tr, _, transitions := newTracker(t)
+	clock.At(time.Second, func() { tr.LoseService(2*time.Second, false) })
+	clock.RunAll()
+	want := [][2]telephony.ServiceState{
+		{telephony.StateInService, telephony.StateOutOfService},
+		{telephony.StateOutOfService, telephony.StateInService},
+	}
+	if len(*transitions) != len(want) {
+		t.Fatalf("transitions = %v", *transitions)
+	}
+	for i := range want {
+		if (*transitions)[i] != want[i] {
+			t.Errorf("transition %d = %v, want %v", i, (*transitions)[i], want[i])
+		}
+	}
+	_ = tr
+}
+
+func TestServiceTrackerNilClockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil clock did not panic")
+		}
+	}()
+	NewServiceTracker(nil, ServiceHooks{})
+}
+
+func TestServiceTrackerPowerOnWhenOnIsNoOp(t *testing.T) {
+	_, tr, _, transitions := newTracker(t)
+	tr.PowerOn()
+	if len(*transitions) != 0 {
+		t.Error("PowerOn while in service should be a no-op")
+	}
+}
+
+func TestDiagnosticsManagerFanOut(t *testing.T) {
+	clock := simclock.NewScheduler()
+	m := NewDiagnosticsManager(clock)
+	var stalls1, stalls2 int
+	var states []telephony.ServiceState
+	h1 := m.Register(DiagnosticsCallback{
+		OnDataStallSuspected:  func(DataStallReport) { stalls1++ },
+		OnServiceStateChanged: func(s telephony.ServiceState) { states = append(states, s) },
+	})
+	m.Register(DiagnosticsCallback{
+		OnDataStallSuspected: func(DataStallReport) { stalls2++ },
+	})
+	if m.Registered() != 2 {
+		t.Fatalf("registered = %d", m.Registered())
+	}
+
+	m.NotifyDataStall(telephony.RAT4G, telephony.Level2)
+	if stalls1 != 1 || stalls2 != 1 {
+		t.Errorf("fan-out: %d, %d", stalls1, stalls2)
+	}
+
+	m.NotifyServiceState(telephony.StateOutOfService)
+	m.NotifyServiceState(telephony.StateOutOfService) // duplicate suppressed
+	m.NotifyServiceState(telephony.StateInService)
+	if len(states) != 2 {
+		t.Errorf("states = %v, want OOS then in-service", states)
+	}
+
+	m.Unregister(h1)
+	m.Unregister(999) // unknown: no-op
+	m.NotifyDataStall(telephony.RAT5G, telephony.Level0)
+	if stalls1 != 1 || stalls2 != 2 {
+		t.Errorf("after unregister: %d, %d", stalls1, stalls2)
+	}
+}
+
+func TestDiagnosticsReportFields(t *testing.T) {
+	clock := simclock.NewScheduler()
+	m := NewDiagnosticsManager(clock)
+	var got DataStallReport
+	m.Register(DiagnosticsCallback{OnDataStallSuspected: func(r DataStallReport) { got = r }})
+	clock.At(time.Minute, func() { m.NotifyDataStall(telephony.RAT5G, telephony.Level1) })
+	clock.RunAll()
+	if got.DetectedAt != time.Minute || got.RAT != telephony.RAT5G || got.Level != telephony.Level1 {
+		t.Errorf("report = %+v", got)
+	}
+	clock.At(90*time.Second, func() {
+		if age := m.StallAge(got); age != 30*time.Second {
+			t.Errorf("StallAge = %v", age)
+		}
+	})
+	clock.RunAll()
+}

@@ -1,0 +1,135 @@
+// Package anneal implements the simulated annealing search the paper uses
+// (§4.2, citing Otten & van Ginneken) to find the probation triple
+// (Pro0, Pro1, Pro2) minimizing the expected Data_Stall recovery time.
+// The minimizer is generic over box-constrained continuous objectives.
+package anneal
+
+import (
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Config tunes the annealing schedule.
+type Config struct {
+	// Iterations is the total number of candidate moves (default 20000).
+	Iterations int
+	// InitialTemp is the starting temperature, in objective units
+	// (default: 10% of the initial objective value).
+	InitialTemp float64
+	// Cooling is the per-iteration geometric cooling factor (default
+	// chosen so the temperature decays to 1e-4 of initial by the end).
+	Cooling float64
+	// StepFrac is the neighbourhood size as a fraction of each
+	// dimension's range, shrinking with temperature (default 0.25).
+	StepFrac float64
+	// Restarts re-runs the search from fresh random points, keeping the
+	// best (default 3).
+	Restarts int
+}
+
+func (c Config) withDefaults(initialObjective float64) Config {
+	if c.Iterations <= 0 {
+		c.Iterations = 20000
+	}
+	if c.InitialTemp <= 0 {
+		c.InitialTemp = math.Abs(initialObjective) * 0.1
+		if c.InitialTemp == 0 {
+			c.InitialTemp = 1
+		}
+	}
+	if c.Cooling <= 0 || c.Cooling >= 1 {
+		c.Cooling = math.Pow(1e-4, 1/float64(c.Iterations))
+	}
+	if c.StepFrac <= 0 {
+		c.StepFrac = 0.25
+	}
+	if c.Restarts <= 0 {
+		c.Restarts = 3
+	}
+	return c
+}
+
+// Minimize searches for the minimum of f over the box [lo[i], hi[i]].
+// It returns the best point found and its objective value. f must be
+// defined everywhere in the box. The search is deterministic for a given
+// source.
+func Minimize(r *rng.Source, lo, hi []float64, f func([]float64) float64, cfg Config) ([]float64, float64) {
+	if len(lo) != len(hi) || len(lo) == 0 {
+		panic("anneal: bad bounds")
+	}
+	dim := len(lo)
+	for i := range lo {
+		if hi[i] < lo[i] {
+			panic("anneal: hi < lo")
+		}
+	}
+
+	randomPoint := func() []float64 {
+		x := make([]float64, dim)
+		for i := range x {
+			x[i] = r.Uniform(lo[i], hi[i])
+		}
+		return x
+	}
+
+	globalBest := randomPoint()
+	globalBestV := f(globalBest)
+	cfg = cfg.withDefaults(globalBestV)
+
+	for restart := 0; restart < cfg.Restarts; restart++ {
+		cur := randomPoint()
+		if restart == 0 {
+			copy(cur, globalBest)
+		}
+		curV := f(cur)
+		best := append([]float64(nil), cur...)
+		bestV := curV
+		temp := cfg.InitialTemp
+
+		cand := make([]float64, dim)
+		for it := 0; it < cfg.Iterations; it++ {
+			// Neighbour: perturb one random dimension, step size shrinking
+			// with temperature.
+			copy(cand, cur)
+			i := r.Intn(dim)
+			scale := cfg.StepFrac * (hi[i] - lo[i]) * math.Max(temp/cfg.InitialTemp, 0.02)
+			cand[i] = clamp(cand[i]+r.Normal(0, scale), lo[i], hi[i])
+
+			v := f(cand)
+			if accept(r, curV, v, temp) {
+				copy(cur, cand)
+				curV = v
+				if v < bestV {
+					copy(best, cand)
+					bestV = v
+				}
+			}
+			temp *= cfg.Cooling
+		}
+		if bestV < globalBestV {
+			globalBest, globalBestV = best, bestV
+		}
+	}
+	return globalBest, globalBestV
+}
+
+func accept(r *rng.Source, cur, cand, temp float64) bool {
+	if cand <= cur {
+		return true
+	}
+	if temp <= 0 {
+		return false
+	}
+	return r.Bool(math.Exp((cur - cand) / temp))
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

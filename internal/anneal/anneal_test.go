@@ -1,0 +1,112 @@
+package anneal
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestMinimizeQuadratic1D(t *testing.T) {
+	r := rng.New(1)
+	f := func(x []float64) float64 { return (x[0] - 3) * (x[0] - 3) }
+	x, v := Minimize(r, []float64{-10}, []float64{10}, f, Config{})
+	if math.Abs(x[0]-3) > 0.1 || v > 0.01 {
+		t.Errorf("minimum at %v (f=%v), want x=3", x, v)
+	}
+}
+
+func TestMinimizeQuadratic3D(t *testing.T) {
+	r := rng.New(2)
+	target := []float64{21, 6, 16}
+	f := func(x []float64) float64 {
+		s := 0.0
+		for i := range x {
+			d := x[i] - target[i]
+			s += d * d
+		}
+		return s
+	}
+	lo := []float64{0, 0, 0}
+	hi := []float64{60, 60, 60}
+	x, _ := Minimize(r, lo, hi, f, Config{})
+	for i := range x {
+		if math.Abs(x[i]-target[i]) > 0.5 {
+			t.Errorf("dim %d: %v, want %v", i, x[i], target[i])
+		}
+	}
+}
+
+func TestMinimizeMultimodal(t *testing.T) {
+	// Rastrigin-like 2D function: global minimum at (0,0), many local ones.
+	r := rng.New(3)
+	f := func(x []float64) float64 {
+		s := 20.0
+		for _, v := range x {
+			s += v*v - 10*math.Cos(2*math.Pi*v)
+		}
+		return s
+	}
+	x, v := Minimize(r, []float64{-5.12, -5.12}, []float64{5.12, 5.12}, f, Config{Iterations: 60000, Restarts: 5})
+	if v > 1.5 {
+		t.Errorf("failed to approach global minimum: x=%v f=%v", x, v)
+	}
+}
+
+func TestMinimizeRespectsBounds(t *testing.T) {
+	r := rng.New(4)
+	// Minimum outside the box: must clamp to the boundary.
+	f := func(x []float64) float64 { return (x[0] - 100) * (x[0] - 100) }
+	x, _ := Minimize(r, []float64{0}, []float64{10}, f, Config{})
+	if x[0] < 0 || x[0] > 10 {
+		t.Fatalf("point %v escaped the box", x)
+	}
+	if math.Abs(x[0]-10) > 0.2 {
+		t.Errorf("boundary minimum at %v, want ≈10", x[0])
+	}
+}
+
+func TestMinimizeDeterministic(t *testing.T) {
+	f := func(x []float64) float64 { return math.Sin(x[0]) + x[0]*x[0]/50 }
+	a, av := Minimize(rng.New(7), []float64{-10}, []float64{10}, f, Config{})
+	b, bv := Minimize(rng.New(7), []float64{-10}, []float64{10}, f, Config{})
+	if a[0] != b[0] || av != bv {
+		t.Errorf("non-deterministic: %v/%v vs %v/%v", a, av, b, bv)
+	}
+}
+
+func TestMinimizeDegenerateBox(t *testing.T) {
+	r := rng.New(5)
+	f := func(x []float64) float64 { return x[0] }
+	x, v := Minimize(r, []float64{5}, []float64{5}, f, Config{Iterations: 100})
+	if x[0] != 5 || v != 5 {
+		t.Errorf("degenerate box: %v, %v", x, v)
+	}
+}
+
+func TestMinimizeBadBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("hi < lo did not panic")
+		}
+	}()
+	Minimize(rng.New(6), []float64{1}, []float64{0}, func([]float64) float64 { return 0 }, Config{})
+}
+
+func TestMinimizeEmptyBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty bounds did not panic")
+		}
+	}()
+	Minimize(rng.New(6), nil, nil, func([]float64) float64 { return 0 }, Config{})
+}
+
+func TestZeroObjectiveDefaults(t *testing.T) {
+	r := rng.New(8)
+	f := func(x []float64) float64 { return 0 }
+	_, v := Minimize(r, []float64{0}, []float64{1}, f, Config{Iterations: 50})
+	if v != 0 {
+		t.Errorf("flat objective value %v", v)
+	}
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/trace"
+)
+
+func TestFullPipeline(t *testing.T) {
+	scenario := fleet.Scenario{Seed: 3, NumDevices: 1500, Workers: 4}
+	m, opt, enh, err := FullPipeline(scenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Fleet.Dataset.Len() == 0 {
+		t.Fatal("measurement produced no events")
+	}
+	if opt.Samples == 0 {
+		t.Fatal("no stall samples for the TIMP fit")
+	}
+	// The optimized probations are each much shorter than one minute.
+	for i, p := range opt.Trigger {
+		if p <= 0 || p >= time.Minute {
+			t.Errorf("Pro%d = %v, want in (0, 60s)", i, p)
+		}
+	}
+	if opt.Result.Cost >= opt.Result.DefaultCost {
+		t.Errorf("optimized cost %.1f >= default %.1f", opt.Result.Cost, opt.Result.DefaultCost)
+	}
+	// The enhancements must reduce 5G failures and stall durations.
+	if enh.Report.FiveGFrequencyChange >= -0.1 {
+		t.Errorf("5G frequency change = %+.2f, want a clear reduction", enh.Report.FiveGFrequencyChange)
+	}
+	if enh.Report.StallDurationChange >= -0.1 {
+		t.Errorf("stall duration change = %+.2f, want a clear reduction", enh.Report.StallDurationChange)
+	}
+	if enh.Patched.Scenario.Policy != fleet.PolicyStability {
+		t.Error("patched run did not use the stability policy")
+	}
+}
+
+func TestCatalogue(t *testing.T) {
+	cat := Catalogue()
+	if len(cat) != 34 {
+		t.Fatalf("catalogue = %d entries", len(cat))
+	}
+	fiveG := 0
+	for _, m := range cat {
+		if m.FiveG {
+			fiveG++
+		}
+	}
+	if fiveG != 4 {
+		t.Errorf("5G models = %d, want 4", fiveG)
+	}
+}
+
+func TestOptimizeRecoveryNoStalls(t *testing.T) {
+	m := &MeasurementResult{
+		Fleet: &fleet.Result{Dataset: trace.NewDataset()},
+	}
+	m.Input.Dataset = m.Fleet.Dataset
+	if _, err := OptimizeRecovery(m, 1); err == nil {
+		t.Error("empty dataset should fail the TIMP fit")
+	}
+}
+
+func TestMeasureInvalidScenario(t *testing.T) {
+	s := Study{Scenario: fleet.Scenario{NumDevices: 10, UploadAddr: "127.0.0.1:1"}}
+	if _, err := s.Measure(); err == nil {
+		t.Error("unreachable collector should surface an error")
+	}
+}

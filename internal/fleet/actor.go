@@ -1,0 +1,672 @@
+package fleet
+
+import (
+	"time"
+
+	"repro/internal/android"
+	"repro/internal/device"
+	"repro/internal/failure"
+	"repro/internal/geo"
+	"repro/internal/monitor"
+	"repro/internal/netprobe"
+	"repro/internal/rng"
+	"repro/internal/simclock"
+	"repro/internal/simnet"
+	"repro/internal/telephony"
+)
+
+// plannedEpisode is one scheduled failure opportunity.
+type plannedEpisode struct {
+	at         simclock.Time
+	kind       failure.Kind
+	transition *failure.TransitionInfo
+	// att pins the attachment context for transition-induced episodes
+	// (the post-transition camp); nil for base episodes.
+	att *simnet.Attachment
+	// fp marks a false-positive episode: a suspicious event the monitor
+	// must filter rather than record.
+	fp bool
+}
+
+// actor is one simulated Android-MOD device.
+type actor struct {
+	id    uint64
+	model device.Model
+	isp   simnet.ISPID
+
+	clock *simclock.Scheduler
+	r     *rng.Source
+	scen  *Scenario
+	cal   *Calibration
+	net   *simnet.Network
+
+	intensity device.Intensity
+	policy    android.RATPolicy
+	dual      android.DualConnectivity
+	kindPick  *rng.Categorical
+	kinds     []failure.Kind
+
+	host     *netprobe.SimHost
+	mon      *monitor.Service
+	radio    *simRadio
+	dc       *android.DataConnection
+	detector *android.StallDetector
+	engine   *android.RecoveryEngine
+	service  *android.ServiceTracker
+	diag     *android.DiagnosticsManager
+
+	att  simnet.Attachment
+	busy bool
+
+	// episode-scoped state for the active stall.
+	healTimer  *simclock.Timer
+	resetTimer *simclock.Timer
+	// pending transition context for the in-flight setup episode.
+	inSetup         bool
+	setupTransition *failure.TransitionInfo
+	setupStart      simclock.Time
+	setupCause      telephony.FailCause
+	setupAttempts   int
+	// active stall episode context.
+	stallTransition *failure.TransitionInfo
+	stallAutoFix    time.Duration
+	// active Out_of_Service episode context.
+	oosTransition *failure.TransitionInfo
+
+	events int
+
+	// chainAtts/chainWeights hold the dwell chain's attachments and their
+	// dwell×hazard weights; failure episodes draw their radio context from
+	// this distribution so failure rates per context stay consistent with
+	// dwell accounting.
+	chainAtts    []simnet.Attachment
+	chainWeights []float64
+
+	// per-device exposure dedup bitmaps.
+	seenRAT    [numRATIdx]bool
+	seenBSRAT  [numRATIdx]bool
+	seenRATLvl [numRATIdx][telephony.NumSignalLevels]bool
+
+	shard *shardState
+}
+
+// shardState is aggregation local to one worker shard.
+type shardState struct {
+	trans TransitionMatrix
+	dwell DwellStats
+	pop   Population
+	sink  monitor.Sink
+	// refMass is the fleet-level expected transition hazard mass per
+	// device class under the vanilla policy (see estimateClassMasses).
+	refMass map[classKey]classMass
+}
+
+// classKey buckets devices for transition-mass normalization.
+type classKey struct {
+	fiveG    bool
+	android9 bool
+}
+
+func deviceClass(m device.Model) classKey {
+	return classKey{fiveG: m.FiveG, android9: m.Android == 9}
+}
+
+// simRadio scripts setup outcomes for the real DataConnection machine.
+type simRadio struct {
+	clock    *simclock.Scheduler
+	latency  time.Duration
+	outcomes []android.SetupOutcome
+	next     int
+}
+
+func (r *simRadio) Setup(done func(android.SetupOutcome)) {
+	out := android.SetupOutcome{Success: true}
+	if r.next < len(r.outcomes) {
+		out = r.outcomes[r.next]
+		r.next++
+	}
+	r.clock.After(r.latency, func() { done(out) })
+}
+
+func (r *simRadio) Teardown(done func()) {
+	r.clock.After(r.latency/2, func() { done() })
+}
+
+func (r *simRadio) script(outcomes []android.SetupOutcome) {
+	r.outcomes = outcomes
+	r.next = 0
+}
+
+// opExec executes recovery operations against the device's host: a
+// successful operation heals a network-side stall.
+type opExec struct{ a *actor }
+
+func (e opExec) Execute(op android.RecoveryOp, done func(bool)) {
+	a := e.a
+	overhead := a.cal.OpOverhead[int(op)-1]
+	a.clock.After(overhead, func() {
+		p := a.cal.OpSuccess[int(op)-1]
+		// Device-side recovery cannot repair broken infrastructure: on
+		// long-neglected remote BSes the operations mostly fail, which is
+		// where the paper's multi-hour outages come from.
+		if a.att.BS != nil && a.att.BS.Region == geo.Remote {
+			p *= 0.45
+		}
+		success := a.r.Bool(p)
+		// System-side faults (firewall/proxy/driver) are not fixable by
+		// connection-level recovery; they are filtered by the prober
+		// anyway, usually before any operation fires.
+		if a.host.ConditionNow().SystemSide() {
+			success = false
+		}
+		if success {
+			a.host.SetCondition(netprobe.Healthy)
+		}
+		done(success)
+	})
+}
+
+// newActor builds a device and plans its episodes. The dwell chain runs
+// immediately (it is pure accounting); episodes are scheduled on the clock.
+func newActor(id uint64, m device.Model, clock *simclock.Scheduler, r *rng.Source, scen *Scenario, net *simnet.Network, shard *shardState) *actor {
+	a := &actor{
+		id:    id,
+		model: m,
+		clock: clock,
+		r:     r,
+		scen:  scen,
+		cal:   scen.Calibration,
+		net:   net,
+		shard: shard,
+	}
+	a.isp = sampleISP(r)
+	// ISP quality modulates both whether a device fails at all and how
+	// often (Figures 12/13): scale the model's Table-1 prevalence and
+	// frequency by the subscriber's carrier factor.
+	scaled := m
+	f := simnet.ISPs()[a.isp].PrevalenceFactor
+	scaled.Prevalence *= f
+	if scaled.Prevalence > 0.95 {
+		scaled.Prevalence = 0.95
+	}
+	scaled.Frequency *= f
+	a.intensity = device.SampleIntensity(r, scaled, device.DefaultIntensityParams())
+	a.policy = a.pickPolicy()
+	if m.FiveG && scen.DualConnectivity {
+		a.dual = android.DualConnectivity{Enabled: true}
+	}
+
+	a.host = netprobe.NewSimHost(clock)
+	monCfg := monitor.DefaultConfig()
+	monCfg.DisableFiltering = scen.DisableFPFilter
+	a.mon = monitor.New(clock, monCfg, id, m.ID, m.Android, m.FiveG, a.host, shard.sink)
+	a.radio = &simRadio{clock: clock, latency: 300 * time.Millisecond}
+	a.dc = android.NewDataConnection(clock, a.radio, android.DefaultDataConnectionConfig(), android.Hooks{
+		OnSetupAbandoned: func(cause telephony.FailCause) { a.finishSetupEpisode(cause) },
+		OnConnected: func() {
+			if a.inSetup {
+				a.finishSetupEpisode(a.setupCause)
+			}
+		},
+		OnSetupError: func(cause telephony.FailCause, attempt int) {
+			a.setupCause = cause
+			a.setupAttempts = attempt
+		},
+	})
+	a.detector = android.NewStallDetector(clock, android.DefaultStallDetectorConfig(), nil)
+	a.detector.OnStall = a.onStallDetected
+	a.engine = android.NewRecoveryEngine(clock, scen.Trigger, opExec{a}, func(res android.Resolution) {
+		a.mon.NoteStallResolution(res)
+	})
+	a.mon.BindRecovery(a.engine, a.detector)
+	a.diag = android.NewDiagnosticsManager(clock)
+	a.service = android.NewServiceTracker(clock, android.ServiceHooks{
+		OnStateChange: func(_, to telephony.ServiceState) {
+			// The Out_of_Service checker is one of the few interfaces
+			// vanilla Android exposes to user space (§2.1).
+			a.diag.NotifyServiceState(to)
+		},
+		OnOutOfServiceEnd: func(d time.Duration) {
+			a.mon.OnOutOfService(d, a.oosTransition)
+			a.oosTransition = nil
+			a.busy = false
+			a.events++
+		},
+	})
+
+	a.accountPopulation()
+	planned := a.dwellChainAndPlan()
+	for _, ep := range planned {
+		ep := ep
+		clock.At(ep.at, func() { a.runEpisode(ep, 0) })
+	}
+	return a
+}
+
+func (a *actor) pickPolicy() android.RATPolicy {
+	switch a.scen.Policy {
+	case PolicyStability:
+		return android.StabilityCompatiblePolicy{Risk: a.risk}
+	case PolicyNever5G:
+		return android.Never5GPolicy{}
+	default:
+		if a.model.Android >= 10 {
+			return android.Android10Policy{}
+		}
+		return android.Android9Policy{}
+	}
+}
+
+// risk estimates an option's failure likelihood for the stability policy,
+// mirroring what Figure 16 taught the paper's authors: weak signal is the
+// dominant factor, and immature 5G modules carry extra risk. Steady-state
+// contention differences among legacy RATs are deliberately excluded —
+// the policy weighs connection stability, not load.
+func (a *actor) risk(o android.RATOption) float64 {
+	h := simnet.LevelHazard(o.Level)
+	if o.RAT == telephony.RAT5G {
+		h *= simnet.ContentionFactor[telephony.RAT5G]
+	}
+	return h
+}
+
+var ispPick = func() *rng.Categorical {
+	isps := simnet.ISPs()
+	ws := make([]float64, len(isps))
+	for i, isp := range isps {
+		ws[i] = isp.UserShare
+	}
+	return rng.NewCategorical(ws)
+}()
+
+func sampleISP(r *rng.Source) simnet.ISPID { return simnet.ISPID(ispPick.Draw(r)) }
+
+var regionPick = func() *rng.Categorical {
+	ws := make([]float64, geo.NumRegions)
+	for i, p := range geo.Profiles() {
+		ws[i] = p.TrafficShare
+	}
+	return rng.NewCategorical(ws)
+}()
+
+func (a *actor) accountPopulation() {
+	a.shard.pop.Total++
+	a.shard.pop.ByModel[a.model.ID]++
+	a.shard.pop.ByISP[a.isp]++
+	if a.model.FiveG {
+		a.shard.pop.FiveG++
+	}
+	if a.model.Android == 9 {
+		a.shard.pop.Android9++
+	} else if !a.model.FiveG {
+		a.shard.pop.Android10No5G++
+	}
+}
+
+// candidateOptions samples the camping choices visible at a location.
+func (a *actor) candidateOptions(r *rng.Source, region geo.Region) ([]simnet.Attachment, []android.RATOption) {
+	return sampleCandidates(a.net, r, a.isp, a.model.FiveG, region)
+}
+
+// sampleCandidates draws the camping choices visible to a device of the
+// given capability at a location.
+func sampleCandidates(net *simnet.Network, r *rng.Source, isp simnet.ISPID, fiveG bool, region geo.Region) ([]simnet.Attachment, []android.RATOption) {
+	wants := []telephony.RAT{telephony.RAT4G, telephony.RAT2G, telephony.RAT3G}
+	if fiveG {
+		wants = append(wants, telephony.RAT5G)
+	}
+	var atts []simnet.Attachment
+	var opts []android.RATOption
+	seen := map[telephony.RAT]bool{}
+	for _, w := range wants {
+		att, err := net.Attach(r, isp, region, w)
+		if err != nil {
+			continue
+		}
+		if seen[att.RAT] {
+			continue
+		}
+		seen[att.RAT] = true
+		atts = append(atts, att)
+		opts = append(opts, android.RATOption{RAT: att.RAT, Level: att.Level})
+	}
+	if len(atts) == 0 {
+		// No service anywhere for this ISP; synthesize a dead camp.
+		atts = append(atts, simnet.Attachment{})
+		opts = append(opts, android.RATOption{})
+	}
+	return atts, opts
+}
+
+// dwellChainAndPlan walks the device through DwellSamples attachments over
+// the window, accounting dwell/exposure, counting policy-driven RAT
+// transitions, rolling transition-induced failures, and planning base
+// failure opportunities. It returns the planned episodes.
+func (a *actor) dwellChainAndPlan() []plannedEpisode {
+	cal := a.cal
+	k := cal.DwellSamples
+	if k < 2 {
+		k = 2
+	}
+	slot := a.scen.Window / time.Duration(k)
+
+	// Per-device kind weights: Out_of_Service only befalls OOS-prone
+	// devices; others fold that mass into Data_Stall.
+	a.buildKindPick()
+
+	// Transition-failure intensity: under the *vanilla* policy a device's
+	// transition-induced failures make up share×E[failures]. The per-
+	// transition probability constant is therefore normalized against a
+	// reference chain walked with the vanilla policy — a physical property
+	// of the environment that does not depend on the deployed policy — so
+	// a policy that avoids hazardous transitions genuinely removes those
+	// failures instead of redistributing them (Figures 19/20).
+	share := cal.TransitionShareOther
+	if a.model.FiveG && a.model.Android >= 10 {
+		share = cal.TransitionShare5G
+		if a.intensity.ExpectedFailures <= cal.TransitionOnlyMaxE && a.r.Bool(cal.TransitionOnly5G) {
+			share = 1
+		}
+	}
+	transitionOnly := share >= 1
+	if !a.intensity.Prone || a.shard.refMass[deviceClass(a.model)].total <= 0 {
+		share = 0
+	}
+	lambda := share // non-zero iff transition failures apply to this device
+
+	var planned []plannedEpisode
+
+	// Base opportunities.
+	if a.intensity.Prone {
+		mean := a.intensity.ExpectedFailures * (1 - share)
+		n := device.Poisson(a.r, mean)
+		if n > a.scen.MaxEventsPerDevice {
+			n = a.scen.MaxEventsPerDevice
+		}
+		// A prone device is by definition one that experiences at least
+		// one failure during the window; guarantee the draw — except for
+		// 5G/Android-10 devices, whose large transition-induced share can
+		// legitimately account for all of a light device's failures (that
+		// is exactly how the patched policy reduces *prevalence*, not just
+		// frequency, in Figure 19).
+		if n == 0 && share < 0.2 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			planned = append(planned, plannedEpisode{
+				at:   time.Duration(a.r.Float64() * float64(a.scen.Window)),
+				kind: a.sampleKind(),
+			})
+		}
+		// Extra false-positive episodes: suspicious events the monitor
+		// must filter; they record nothing.
+		nfp := device.Poisson(a.r, a.intensity.ExpectedFailures*cal.FPExtraRate)
+		for i := 0; i < nfp; i++ {
+			kind := failure.DataStall
+			if a.r.Bool(cal.FPSetupShare) {
+				kind = failure.DataSetupError
+			}
+			planned = append(planned, plannedEpisode{
+				at:   time.Duration(a.r.Float64() * float64(a.scen.Window)),
+				kind: kind,
+				fp:   true,
+			})
+		}
+	}
+
+	// Walk the chain, accounting dwell and collecting RAT transitions.
+	type chainTransition struct {
+		slot int
+		att  simnet.Attachment
+		info failure.TransitionInfo
+		mass float64
+	}
+	var transitions []chainTransition
+	var massSum float64
+
+	prev := simnet.Attachment{}
+	cur := &android.RATOption{}
+	hasPrev := false
+	mobility := geo.NewMobility(a.r)
+	for i := 0; i < k; i++ {
+		region := mobility.Next(a.r)
+		atts, opts := a.candidateOptions(a.r, region)
+		var choice int
+		if hasPrev {
+			// The current serving cell sometimes remains reachable after
+			// the move, letting a policy decline every fresh candidate
+			// and stay camped.
+			if a.r.Bool(cal.StayProb) {
+				atts = append(atts, prev)
+				opts = append(opts, *cur)
+			}
+			choice = a.policy.Select(cur, opts)
+		} else {
+			choice = a.policy.Select(nil, opts)
+		}
+		att := atts[choice]
+		a.accountDwell(att, slot)
+		if att.BS != nil {
+			w := att.BS.Region.Profile().DwellFactor * a.net.Hazard(a.isp, att)
+			if w > 0 {
+				a.chainAtts = append(a.chainAtts, att)
+				a.chainWeights = append(a.chainWeights, w)
+			}
+		}
+
+		if hasPrev && att.BS != nil && prev.BS != nil && att.RAT != prev.RAT {
+			a.shard.trans.Exposure[prev.RAT][prev.Level][att.RAT][att.Level]++
+			if lambda > 0 {
+				if transitionOnly && !(att.RAT == telephony.RAT5G && att.Level <= telephony.Level1) {
+					// Transition-only devices fail exclusively on the
+					// avoidable weak-5G transitions (Figure 17f): blind
+					// handovers into 5G cells with level-0/1 signal,
+					// which the stability-compatible policy refuses.
+					goto next
+				}
+				mass := simnet.TransitionHazard(att) * a.windowFraction(prev.RAT, att.RAT)
+				if mass > 0 {
+					transitions = append(transitions, chainTransition{
+						slot: i,
+						att:  att,
+						info: failure.TransitionInfo{
+							FromRAT: prev.RAT, ToRAT: att.RAT,
+							FromLevel: prev.Level, ToLevel: att.Level,
+						},
+						mass: mass,
+					})
+					massSum += mass
+				}
+			}
+		}
+	next:
+		prev = att
+		*cur = android.RATOption{RAT: att.RAT, Level: att.Level}
+		hasPrev = att.BS != nil
+		if i == 0 {
+			a.att = att
+			a.applyContext(att)
+		}
+
+		// Injected regional outages: a device present in the region while
+		// its infrastructure is down suffers extra stall episodes.
+		if att.BS != nil {
+			slotStart := time.Duration(i) * slot
+			for _, out := range a.scen.Outages {
+				if att.BS.Region != out.Region || out.EpisodesPerDevice <= 0 {
+					continue
+				}
+				oStart, oEnd := out.Start, out.Start+out.Window
+				if slotStart+slot <= oStart || slotStart >= oEnd {
+					continue
+				}
+				// Overlap fraction scales the expected episode count.
+				lo, hi := maxDur(slotStart, oStart), minDur(slotStart+slot, oEnd)
+				mean := out.EpisodesPerDevice * float64(hi-lo) / float64(out.Window)
+				attCopy := att
+				for n := device.Poisson(a.r, mean); n > 0; n-- {
+					planned = append(planned, plannedEpisode{
+						at:   lo + time.Duration(a.r.Float64()*float64(hi-lo)),
+						kind: failure.DataStall,
+						att:  &attCopy,
+					})
+				}
+			}
+		}
+	}
+
+	// Transition-failure budget: share×E scaled by how the device's
+	// realized hazard mass compares to the vanilla class expectation. A
+	// policy that avoids hazardous transitions shrinks the mass and hence
+	// the budget; the ratio is capped so a single unlucky chain cannot
+	// make one device explode.
+	if lambda > 0 && len(transitions) > 0 && massSum > 0 {
+		cm := a.shard.refMass[deviceClass(a.model)]
+		refMass := cm.total
+		if transitionOnly {
+			refMass = cm.risky
+		}
+		if refMass <= 0 {
+			refMass = cm.total
+		}
+		ratio := massSum / refMass
+		if ratio > 8 {
+			ratio = 8
+		}
+		budget := device.Poisson(a.r, share*a.intensity.ExpectedFailures*ratio)
+		if budget > a.scen.MaxEventsPerDevice {
+			budget = a.scen.MaxEventsPerDevice
+		}
+		weights := make([]float64, len(transitions))
+		for i, tr := range transitions {
+			weights[i] = tr.mass
+		}
+		pick := rng.NewCategorical(weights)
+		for f := 0; f < budget; f++ {
+			tr := &transitions[pick.Draw(a.r)]
+			a.shard.trans.Failures[tr.info.FromRAT][tr.info.FromLevel][tr.info.ToRAT][tr.info.ToLevel]++
+			planned = append(planned, plannedEpisode{
+				at:         time.Duration(tr.slot)*slot + time.Duration(a.r.Float64()*float64(slot)),
+				kind:       a.sampleTransitionKind(),
+				transition: &tr.info,
+				att:        &tr.att,
+			})
+		}
+	}
+
+	return planned
+}
+
+func (a *actor) buildKindPick() {
+	cal := a.cal
+	kinds := []failure.Kind{failure.DataSetupError, failure.DataStall, failure.OutOfService, failure.SMSSendFail, failure.VoiceFailure}
+	ws := make([]float64, len(kinds))
+	for i, k := range kinds {
+		ws[i] = cal.KindWeights[k]
+	}
+	// Out_of_Service is concentrated in the OOS-prone minority (only ~5%
+	// of phones ever see one, §3.1): prone devices carry the fleet OOS
+	// mass scaled up by the prone fraction, others redistribute it over
+	// the remaining kinds proportionally, preserving the fleet-wide mix.
+	const proneFrac = 0.22
+	oos := ws[2]
+	if a.intensity.OOSProne {
+		ws[2] = oos / proneFrac
+		scale := (1 - ws[2]) / (1 - oos)
+		if scale < 0 {
+			scale = 0
+		}
+		for i := range ws {
+			if i != 2 {
+				ws[i] *= scale
+			}
+		}
+	} else {
+		ws[2] = 0
+		scale := 1 / (1 - oos)
+		for i := range ws {
+			if i != 2 {
+				ws[i] *= scale
+			}
+		}
+	}
+	a.kinds = kinds
+	a.kindPick = rng.NewCategorical(ws)
+}
+
+func (a *actor) sampleKind() failure.Kind {
+	return a.kinds[a.kindPick.Draw(a.r)]
+}
+
+// sampleTransitionKind draws the failure kind for a transition-induced
+// episode; transitions mostly break setup (IRAT handover failures) or
+// stall the connection. Out_of_Service stays confined to OOS-prone
+// devices (§3.1: 95% of phones never see one).
+func (a *actor) sampleTransitionKind() failure.Kind {
+	u := a.r.Float64()
+	switch {
+	case u < 0.55:
+		return failure.DataSetupError
+	case u < 0.90 || !a.intensity.OOSProne:
+		return failure.DataStall
+	default:
+		return failure.OutOfService
+	}
+}
+
+// windowFraction scales transition-failure probability by the transition
+// vulnerability window; dual connectivity shrinks the 4G/5G window.
+func (a *actor) windowFraction(from, to telephony.RAT) float64 {
+	base := a.cal.TransitionWindow
+	w := a.dual.TransitionWindow(base, from, to)
+	return float64(w) / float64(base)
+}
+
+func (a *actor) accountDwell(att simnet.Attachment, slot time.Duration) {
+	if att.BS == nil {
+		return
+	}
+	rat := att.RAT
+	lvl := att.Level
+	d := &a.shard.dwell
+	d.Seconds[rat][lvl] += slot.Seconds() * att.BS.Region.Profile().DwellFactor
+	// Exposure sets are per device; dedupe with the actor's bitmaps.
+	if !a.seenRATLvl[rat][lvl] {
+		a.seenRATLvl[rat][lvl] = true
+		d.DevicesExposed[rat][lvl]++
+	}
+	if !a.seenRAT[rat] {
+		a.seenRAT[rat] = true
+		d.DevicesOnRAT[rat]++
+	}
+	for _, bsRAT := range att.BS.RATs {
+		if !a.seenBSRAT[bsRAT] {
+			a.seenBSRAT[bsRAT] = true
+			d.DevicesOnBSRAT[bsRAT]++
+		}
+	}
+}
+
+func (a *actor) applyContext(att simnet.Attachment) {
+	ctx := monitor.InSitu{ISP: a.isp, RAT: att.RAT, Level: att.Level, APN: telephony.APNDefault}
+	if att.BS != nil {
+		ctx.Cell = att.BS.Identity
+		ctx.Region = att.BS.Region
+		ctx.DenseBS = att.BS.Dense
+	}
+	a.mon.SetContext(ctx)
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minDur(a, b time.Duration) time.Duration {
+	if a < b {
+		return a
+	}
+	return b
+}

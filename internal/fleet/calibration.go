@@ -1,0 +1,239 @@
+// Package fleet drives the large-scale measurement study as a discrete-
+// event simulation: a population of Android-MOD devices (Table 1 mix)
+// living in the simulated radio environment for the eight-month window,
+// each running the reimplemented connection state machine, stall detector,
+// probing component, recovery engine and RAT selection policy. The same
+// runner executes the vanilla configuration (the paper's measurement
+// study, §3) and the patched configuration (the §4 enhancements), so the
+// A/B comparison of Figures 19-21 is a pair of runs.
+package fleet
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/failure"
+	"repro/internal/netprobe"
+	"repro/internal/rng"
+)
+
+// Calibration gathers every generator parameter derived from the paper's
+// published distributions. The analysis pipeline never reads these — it
+// recomputes everything from simulated events, which validates the whole
+// pipeline round trip.
+type Calibration struct {
+	// KindWeights is the failure-kind mix: an average phone sees 16
+	// Data_Setup_Error, 14 Data_Stall and 3 Out_of_Service events (§3.1),
+	// plus a <1% tail of legacy SMS/voice failures.
+	KindWeights map[failure.Kind]float64
+
+	// TransitionShare5G is the fraction of a 5G-capable Android 10
+	// device's failures induced by RAT transitions under the vanilla
+	// 5G-first policy; the patched policy avoids most of them, producing
+	// the ≈40% frequency drop of Figure 20.
+	TransitionShare5G float64
+	// TransitionShareOther is the same share for non-5G devices
+	// (2G/3G/4G transitions, Figure 17a-d).
+	TransitionShareOther float64
+	// TransitionOnly5G is the probability that a *lightly failing* 5G
+	// device's failures are entirely transition-induced (weak-5G
+	// handovers). Such devices become failure-free under the patched
+	// policy, which is how the enhancement reduces prevalence (Figure
+	// 19's −10%), not only frequency.
+	TransitionOnly5G float64
+	// TransitionOnlyMaxE caps the expected-failure intensity of devices
+	// eligible for TransitionOnly5G.
+	TransitionOnlyMaxE float64
+
+	// StallShortFrac, StallShortMedian, StallShortSigma parameterize the
+	// fast-self-heal component of the Data_Stall natural-recovery mixture
+	// (Figure 10: ~60% fixed within 10 s).
+	StallShortFrac   float64
+	StallShortMedian float64 // seconds
+	StallShortSigma  float64
+	// StallLongMedian, StallLongSigma parameterize the heavy tail
+	// (maximum observed duration 91,770 s, §3.1).
+	StallLongMedian float64 // seconds
+	StallLongSigma  float64
+
+	// UserResetProb is the chance an attentive user manually resets the
+	// connection, around 30 s into a stall (§3.2's sampling survey).
+	UserResetProb  float64
+	UserResetMean  float64 // seconds
+	UserResetSigma float64 // seconds
+
+	// StallFPRates give the probability that a suspicious stall is each
+	// probe-detectable false-positive class.
+	StallFPFirewall float64
+	StallFPProxy    float64
+	StallFPDriver   float64
+	StallFPDNS      float64
+
+	// FPExtraRate is the rate of *extra* suspicious episodes, relative to
+	// a device's true-failure intensity, that are false positives and
+	// must be filtered by the monitor (BS-overload rejections, voice
+	// preemptions, balance suspensions, manual disconnects, system-side
+	// and DNS-side stall causes). They exercise the filtering path
+	// without contributing recorded failures.
+	FPExtraRate float64
+	// FPSetupShare is the fraction of those false positives that present
+	// as Data_Setup_Error episodes (the rest present as stalls).
+	FPSetupShare float64
+
+	// SetupRetrySuccess is the per-retry probability that the next setup
+	// attempt succeeds within an episode.
+	SetupRetrySuccess float64
+
+	// OOSMedian/OOSSigma shape Out_of_Service durations (seconds).
+	OOSMedian float64
+	OOSSigma  float64
+
+	// SetupNoServiceGap is the mean extra outage around a setup-error
+	// episode beyond the retry machinery itself (seconds).
+	SetupNoServiceGap float64
+
+	// OpSuccess/OpOverhead drive the simulated recovery operations:
+	// §3.2 reports the first-stage cleanup fixes 75% of cases.
+	OpSuccess  [3]float64
+	OpOverhead [3]time.Duration
+
+	// DwellSamples is the number of attachment samples per device used
+	// for exposure/dwell accounting and the transition chain.
+	DwellSamples int
+	// StayProb is the probability that, on a mobility step, the current
+	// serving cell is still reachable and remains a camping choice.
+	StayProb float64
+
+	// TransitionWindow is the base vulnerability window of a RAT
+	// transition; 4G/5G dual connectivity divides it (§4.2).
+	TransitionWindow time.Duration
+
+	// HazardCandidates is the importance-sampling width when choosing
+	// the attachment context of a failure: the failure lands on one of K
+	// candidate attachments proportionally to hazard, concentrating
+	// failures in risky contexts exactly as reality does.
+	HazardCandidates int
+}
+
+// DefaultCalibration returns the paper-derived parameter set.
+func DefaultCalibration() Calibration {
+	return Calibration{
+		KindWeights: map[failure.Kind]float64{
+			failure.DataSetupError: 0.481,
+			failure.DataStall:      0.421,
+			failure.OutOfService:   0.090,
+			failure.SMSSendFail:    0.005,
+			failure.VoiceFailure:   0.003,
+		},
+		TransitionShare5G:    0.44,
+		TransitionOnly5G:     0.55,
+		TransitionOnlyMaxE:   30,
+		TransitionShareOther: 0.12,
+
+		StallShortFrac:   0.85,
+		StallShortMedian: 5,
+		StallShortSigma:  1.2,
+		StallLongMedian:  600,
+		StallLongSigma:   1.5,
+
+		UserResetProb:  0.25,
+		UserResetMean:  30,
+		UserResetSigma: 8,
+
+		StallFPFirewall: 0.02,
+		StallFPProxy:    0.015,
+		StallFPDriver:   0.015,
+		StallFPDNS:      0.02,
+
+		FPExtraRate:       0.14,
+		FPSetupShare:      0.70,
+		SetupRetrySuccess: 0.55,
+
+		OOSMedian: 15,
+		OOSSigma:  1.1,
+
+		SetupNoServiceGap: 2,
+
+		OpSuccess:  [3]float64{0.75, 0.85, 0.95},
+		OpOverhead: [3]time.Duration{time.Second, 3 * time.Second, 8 * time.Second},
+
+		DwellSamples:     40,
+		StayProb:         0.35,
+		TransitionWindow: 8 * time.Second,
+		HazardCandidates: 3,
+	}
+}
+
+// SampleStallAutoFix draws a natural self-recovery time for a Data_Stall
+// from the Figure 10 mixture, stretched by the regional neglect factor
+// (remote BSes yield the multi-hour outages of §3.1).
+func (c Calibration) SampleStallAutoFix(r *rng.Source, neglect float64) time.Duration {
+	var secs float64
+	if r.Bool(c.StallShortFrac) {
+		secs = r.LogNormal(math.Log(c.StallShortMedian), c.StallShortSigma)
+	} else {
+		secs = r.LogNormal(math.Log(c.StallLongMedian), c.StallLongSigma)
+		secs *= neglect // neglected remote infrastructure extends outages
+	}
+	if secs < 0.5 {
+		secs = 0.5
+	}
+	const maxStall = 92000 // paper maximum: 91,770 s
+	if secs > maxStall {
+		secs = maxStall
+	}
+	return time.Duration(secs * float64(time.Second))
+}
+
+// SampleUserReset draws the user's manual-reset time, or 0 if the user
+// does not intervene.
+func (c Calibration) SampleUserReset(r *rng.Source) time.Duration {
+	if !r.Bool(c.UserResetProb) {
+		return 0
+	}
+	secs := r.Normal(c.UserResetMean, c.UserResetSigma)
+	if secs < 5 {
+		secs = 5
+	}
+	return time.Duration(secs * float64(time.Second))
+}
+
+// SampleFPStallCondition draws the host condition for a false-positive
+// stall episode: a system-side fault or DNS-resolution unavailability,
+// weighted by the per-class rates.
+func (c Calibration) SampleFPStallCondition(r *rng.Source) netprobe.Condition {
+	total := c.StallFPFirewall + c.StallFPProxy + c.StallFPDriver + c.StallFPDNS
+	if total <= 0 {
+		return netprobe.DNSUnavailable
+	}
+	u := r.Float64() * total
+	switch {
+	case u < c.StallFPFirewall:
+		return netprobe.FirewallMisconfig
+	case u < c.StallFPFirewall+c.StallFPProxy:
+		return netprobe.ProxyProblem
+	case u < c.StallFPFirewall+c.StallFPProxy+c.StallFPDriver:
+		return netprobe.ModemDriverFailure
+	default:
+		return netprobe.DNSUnavailable
+	}
+}
+
+// SampleOOSDuration draws an Out_of_Service episode duration.
+func (c Calibration) SampleOOSDuration(r *rng.Source) time.Duration {
+	secs := r.LogNormal(math.Log(c.OOSMedian), c.OOSSigma)
+	if secs < 1 {
+		secs = 1
+	}
+	return time.Duration(secs * float64(time.Second))
+}
+
+// SampleSetupAttempts draws how many attempts a Data_Setup_Error episode
+// takes before succeeding (geometric, capped at the retry budget).
+func (c Calibration) SampleSetupAttempts(r *rng.Source, maxAttempts int) int {
+	n := 1
+	for n < maxAttempts && !r.Bool(c.SetupRetrySuccess) {
+		n++
+	}
+	return n
+}

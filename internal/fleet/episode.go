@@ -1,0 +1,249 @@
+package fleet
+
+import (
+	"time"
+
+	"repro/internal/android"
+	"repro/internal/failure"
+	"repro/internal/geo"
+	"repro/internal/netprobe"
+	"repro/internal/rng"
+	"repro/internal/simnet"
+	"repro/internal/telephony"
+)
+
+// runEpisode executes one failure opportunity. A device handles one
+// episode at a time; collisions retry shortly after (a phone does not
+// have two independent outages of the same data connection at once).
+func (a *actor) runEpisode(ep plannedEpisode, retries int) {
+	if a.events >= a.scen.MaxEventsPerDevice {
+		return
+	}
+	if a.busy {
+		if retries > 50 {
+			return // pathological pile-up; drop the opportunity
+		}
+		a.clock.After(time.Duration(30+a.r.Intn(60))*time.Second, func() {
+			a.runEpisode(ep, retries+1)
+		})
+		return
+	}
+	// Attachment context: transition episodes pin the post-transition
+	// camp; base episodes land on a hazard-tilted attachment (failures
+	// concentrate where the radio environment is hostile).
+	var att simnet.Attachment
+	if ep.att != nil {
+		att = *ep.att
+	} else {
+		att = a.hazardTiltedAttachment()
+	}
+	if att.BS == nil {
+		return // no serving BS anywhere; nothing to fail against
+	}
+	a.att = att
+	a.applyContext(att)
+	// A failure implies the device camped here: exposure denominators
+	// must include it or prevalence ratios for rare contexts would be
+	// biased upward.
+	a.accountDwell(att, 0)
+
+	switch ep.kind {
+	case failure.DataSetupError:
+		a.runSetupEpisode(ep.transition, ep.fp)
+	case failure.DataStall:
+		a.runStallEpisode(ep.transition, ep.fp)
+	case failure.OutOfService:
+		a.runOOSEpisode(ep.transition)
+	case failure.SMSSendFail, failure.VoiceFailure:
+		a.mon.OnLegacyFailure(ep.kind, telephony.CauseNetworkFailure)
+		a.events++
+	}
+}
+
+// hazardTiltedAttachment samples the failure's radio context from the
+// device's dwell chain, weighted by dwell time × environmental hazard:
+// failures concentrate where the device actually spends risky time, so
+// per-context failure rates stay consistent with the dwell denominators
+// the normalized-prevalence figures divide by.
+func (a *actor) hazardTiltedAttachment() simnet.Attachment {
+	if len(a.chainAtts) == 0 {
+		// Degenerate chain (no service anywhere): draw a fresh context.
+		region := geo.Region(regionPick.Draw(a.r))
+		atts, opts := a.candidateOptions(a.r, region)
+		return atts[a.policy.Select(nil, opts)]
+	}
+	total := 0.0
+	for _, w := range a.chainWeights {
+		total += w
+	}
+	u := a.r.Float64() * total
+	acc := 0.0
+	for i, w := range a.chainWeights {
+		acc += w
+		if u < acc {
+			return a.chainAtts[i]
+		}
+	}
+	return a.chainAtts[len(a.chainAtts)-1]
+}
+
+// --- Data_Setup_Error -------------------------------------------------
+
+// runSetupEpisode drives the real data-connection state machine through a
+// scripted sequence of radio failures, exactly as a phone would experience
+// them; the monitoring service receives the per-attempt Data_Setup_Error
+// notifications through the machine's hooks.
+func (a *actor) runSetupEpisode(trans *failure.TransitionInfo, isFP bool) {
+	a.busy = true
+	a.inSetup = true
+	a.setupTransition = trans
+	a.setupStart = a.clock.Now()
+	a.setupAttempts = 0
+	a.setupCause = telephony.CauseNone
+
+	maxAttempts := len(android.DefaultDataConnectionConfig().RetryDelays) + 1
+	attempts := a.cal.SampleSetupAttempts(a.r, maxAttempts)
+
+	outcomes := make([]android.SetupOutcome, 0, attempts+1)
+	for i := 0; i < attempts; i++ {
+		var cause telephony.FailCause
+		if isFP {
+			cause = sampleFPCause(a.r)
+		} else {
+			cause = simnet.SampleSetupCause(a.r, a.att)
+		}
+		outcomes = append(outcomes, android.SetupOutcome{Success: false, Cause: cause})
+	}
+	outcomes = append(outcomes, android.SetupOutcome{Success: true})
+	a.radio.script(outcomes)
+
+	if a.dc.State() == android.DcActive {
+		a.dc.ConnectionLost(telephony.CauseSignalLost)
+	}
+	if a.dc.State() != android.DcInactive {
+		a.inSetup = false
+		a.busy = false
+		return
+	}
+	_ = a.dc.RequestSetup()
+}
+
+// finishSetupEpisode concludes the episode when the state machine either
+// connects after retries or abandons.
+func (a *actor) finishSetupEpisode(cause telephony.FailCause) {
+	if !a.inSetup {
+		return
+	}
+	a.inSetup = false
+	a.busy = false
+	attempts := a.setupAttempts
+	trans := a.setupTransition
+	a.setupTransition = nil
+	if attempts == 0 {
+		return // connected first try; not a failure episode
+	}
+	// Outage duration: the retry machinery's span plus the surrounding
+	// no-service gap.
+	dur := a.clock.Now() - a.setupStart
+	dur += time.Duration(a.r.Exp(a.cal.SetupNoServiceGap) * float64(time.Second))
+	a.events++
+	a.mon.OnSetupEpisode(cause, attempts, dur, trans)
+}
+
+var fpCauses = []telephony.FailCause{
+	telephony.CauseCongestion,
+	telephony.CauseInsufficientResources,
+	telephony.CauseVoiceCallPreemption,
+	telephony.CauseBillingSuspension,
+	telephony.CauseManualDetach,
+	telephony.CauseRadioPowerOff,
+}
+
+var fpCausePick = rng.NewCategorical([]float64{0.40, 0.15, 0.15, 0.10, 0.15, 0.05})
+
+func sampleFPCause(r *rng.Source) telephony.FailCause {
+	return fpCauses[fpCausePick.Draw(r)]
+}
+
+// --- Data_Stall --------------------------------------------------------
+
+// runStallEpisode injects a stall condition into the device's network
+// stack and lets the full machinery react: the detector flags the stall
+// from TCP counters, the monitor probes and measures, the recovery engine
+// escalates through its stages, and the episode resolves by whichever of
+// natural recovery, a recovery operation, or a user reset comes first.
+func (a *actor) runStallEpisode(trans *failure.TransitionInfo, isFP bool) {
+	a.busy = true
+	cond := netprobe.NetworkDown
+	if isFP {
+		cond = a.cal.SampleFPStallCondition(a.r)
+	}
+	neglect := 1.0
+	if a.att.BS != nil {
+		neglect = a.att.BS.Region.Profile().NeglectFactor
+	}
+	autoFix := a.cal.SampleStallAutoFix(a.r, neglect)
+
+	a.stallTransition = trans
+	a.stallAutoFix = autoFix
+	a.host.SetCondition(cond)
+	a.detector.Start()
+	// The application keeps transmitting into the void: outbound TCP
+	// segments with no inbound traffic, the kernel statistic Android's
+	// detector watches.
+	a.detector.RecordTx(12)
+
+	a.healTimer = a.clock.After(autoFix, func() { a.resolveStall(android.ResolvedAuto) })
+	if ur := a.cal.SampleUserReset(a.r); ur > 0 {
+		a.resetTimer = a.clock.After(ur, func() { a.resolveStall(android.ResolvedUserReset) })
+	}
+}
+
+// onStallDetected is the detector's callback: hand the episode to the
+// monitoring service, publish the app-visible DataStallReport, and start
+// the recovery engine, as Android does.
+func (a *actor) onStallDetected() {
+	a.mon.OnStallDetected(a.stallTransition, a.stallAutoFix, a.endStall)
+	a.diag.NotifyDataStall(a.att.RAT, a.att.Level)
+	a.engine.Start()
+}
+
+// resolveStall heals the underlying condition from natural recovery or a
+// user reset; the prober observes health on its next round and concludes
+// the measurement.
+func (a *actor) resolveStall(by android.ResolvedBy) {
+	if a.host.ConditionNow() == netprobe.Healthy {
+		return
+	}
+	a.host.SetCondition(netprobe.Healthy)
+	a.engine.NotifyResolved(by)
+}
+
+// endStall releases episode resources once the monitor concluded the
+// episode (recorded or filtered as a false positive).
+func (a *actor) endStall() {
+	if a.healTimer != nil {
+		a.healTimer.Stop()
+	}
+	if a.resetTimer != nil {
+		a.resetTimer.Stop()
+	}
+	a.detector.Stop()
+	a.host.SetCondition(netprobe.Healthy)
+	a.stallTransition = nil
+	a.stallAutoFix = 0
+	a.busy = false
+	a.events++
+}
+
+// --- Out_of_Service ----------------------------------------------------
+
+// runOOSEpisode drops cellular registration through the service tracker;
+// the tracker reports the episode when service returns and the monitor
+// records it with the in-situ context.
+func (a *actor) runOOSEpisode(trans *failure.TransitionInfo) {
+	a.busy = true
+	a.oosTransition = trans
+	dur := a.cal.SampleOOSDuration(a.r)
+	a.service.LoseService(dur, a.r.Bool(0.15))
+}

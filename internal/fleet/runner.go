@@ -1,0 +1,263 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/android"
+	"repro/internal/device"
+	"repro/internal/failure"
+	"repro/internal/geo"
+	"repro/internal/rng"
+	"repro/internal/simclock"
+	"repro/internal/simnet"
+	"repro/internal/telephony"
+	"repro/internal/trace"
+)
+
+// Run executes a fleet scenario and returns the collected dataset and
+// aggregates. Devices are sharded across workers, each with its own
+// discrete-event clock and RNG stream; runs are deterministic for a given
+// seed regardless of worker count.
+func Run(s Scenario) (*Result, error) {
+	s = s.withDefaults()
+	netRng := rng.New(s.Seed)
+	network, err := simnet.Generate(simnet.DefaultDeployment(s.NumBS), netRng.Split("deployment"))
+	if err != nil {
+		return nil, fmt.Errorf("fleet: generate deployment: %w", err)
+	}
+	models := device.Models()
+	modelWeights := make([]float64, len(models))
+	for i, m := range models {
+		modelWeights[i] = m.UserShare
+	}
+	modelPick := rng.NewCategorical(modelWeights)
+
+	dataset := trace.NewDataset()
+	refMass := estimateClassMasses(network, s)
+
+	workers := s.Workers
+	if workers > s.NumDevices {
+		workers = s.NumDevices
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	outs := make([]shardOut, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := s.NumDevices * w / workers
+		hi := s.NumDevices * (w + 1) / workers
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			outs[w] = runShard(&s, network, dataset, modelPick, refMass, lo, hi)
+		}()
+	}
+	wg.Wait()
+
+	res := &Result{Scenario: s, Dataset: dataset, Network: network}
+	var cpuSum float64
+	for _, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		res.Population.Add(&o.state.pop)
+		res.Transitions.Add(&o.state.trans)
+		res.Dwell.Add(&o.state.dwell)
+		res.Monitor.Recorded += o.mon.recorded
+		res.Monitor.FilteredSetup += o.mon.filteredSetup
+		res.Monitor.FilteredStalls += o.mon.filteredStalls
+		res.Monitor.ProbeRounds += o.mon.probeRounds
+		res.Monitor.StallsMeasured += o.mon.stallsMeasured
+		res.Monitor.LegacyFallbacks += o.mon.legacyFallbacks
+		for i, v := range o.mon.byFPClass {
+			res.Monitor.ByFPClass[i] += v
+		}
+		res.Overhead.Devices += o.overhead.Devices
+		cpuSum += o.overhead.MeanCPUUtilization * float64(o.overhead.Devices)
+		if o.overhead.MaxCPUUtilization > res.Overhead.MaxCPUUtilization {
+			res.Overhead.MaxCPUUtilization = o.overhead.MaxCPUUtilization
+		}
+		if o.overhead.MaxMemoryBytes > res.Overhead.MaxMemoryBytes {
+			res.Overhead.MaxMemoryBytes = o.overhead.MaxMemoryBytes
+		}
+		if o.overhead.MaxStorageBytes > res.Overhead.MaxStorageBytes {
+			res.Overhead.MaxStorageBytes = o.overhead.MaxStorageBytes
+		}
+		if o.overhead.MaxNetworkBytes > res.Overhead.MaxNetworkBytes {
+			res.Overhead.MaxNetworkBytes = o.overhead.MaxNetworkBytes
+		}
+		res.Overhead.TotalNetworkBytes += o.overhead.TotalNetworkBytes
+	}
+	if res.Overhead.Devices > 0 {
+		res.Overhead.MeanCPUUtilization = cpuSum / float64(res.Overhead.Devices)
+	}
+	return res, nil
+}
+
+// shardOut is one worker's harvest.
+type shardOut struct {
+	state    *shardState
+	mon      monitorAgg
+	overhead OverheadSummary
+	err      error
+}
+
+type monitorAgg struct {
+	recorded, filteredSetup, filteredStalls int
+	probeRounds, stallsMeasured             int
+	legacyFallbacks                         int
+	byFPClass                               [failure.NumFalsePositiveClasses]int
+}
+
+// runShard simulates devices [lo, hi) on a private clock.
+func runShard(s *Scenario, network *simnet.Network, dataset *trace.Dataset, modelPick *rng.Categorical, refMass map[classKey]classMass, lo, hi int) (out shardOut) {
+	clock := simclock.NewScheduler()
+	state := &shardState{refMass: refMass}
+	out.state = state
+
+	// Event delivery: direct append (buffered locally) or TCP upload.
+	var buffer []failure.Event
+	var uploader *trace.Uploader
+	if s.UploadAddr != "" {
+		uploader = trace.NewUploader(s.UploadAddr, uint64(lo))
+	}
+	state.sink = func(e failure.Event) {
+		if uploader != nil {
+			uploader.Record(e)
+			return
+		}
+		buffer = append(buffer, e)
+	}
+
+	models := device.Models()
+	actors := make([]*actor, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		r := rng.SplitIndexed(s.Seed, "device", i)
+		m := models[modelPick.Draw(r)]
+		actors = append(actors, newActor(uint64(i+1), m, clock, r, s, network, state))
+	}
+
+	// Run the window plus slack for in-flight episodes to conclude.
+	clock.Run(s.Window + 2*time.Hour)
+
+	for _, a := range actors {
+		o := a.mon.Overhead()
+		st := a.mon.Stats()
+		out.mon.recorded += st.Recorded
+		out.mon.filteredSetup += st.FilteredSetup
+		out.mon.filteredStalls += st.FilteredStalls
+		out.mon.probeRounds += st.ProbeRounds
+		out.mon.stallsMeasured += st.StallsMeasured
+		out.mon.legacyFallbacks += st.LegacyFallbacks
+		for i, v := range st.ByFPClass {
+			out.mon.byFPClass[i] += v
+		}
+		out.overhead.Devices++
+		out.overhead.MeanCPUUtilization += o.CPUUtilization()
+		if u := o.CPUUtilization(); u > out.overhead.MaxCPUUtilization {
+			out.overhead.MaxCPUUtilization = u
+		}
+		if o.MemoryPeakBytes > out.overhead.MaxMemoryBytes {
+			out.overhead.MaxMemoryBytes = o.MemoryPeakBytes
+		}
+		if o.StorageBytes > out.overhead.MaxStorageBytes {
+			out.overhead.MaxStorageBytes = o.StorageBytes
+		}
+		if o.NetworkBytes > out.overhead.MaxNetworkBytes {
+			out.overhead.MaxNetworkBytes = o.NetworkBytes
+		}
+		out.overhead.TotalNetworkBytes += o.NetworkBytes
+	}
+	if out.overhead.Devices > 0 {
+		out.overhead.MeanCPUUtilization /= float64(out.overhead.Devices)
+	}
+
+	if uploader != nil {
+		uploader.SetWiFi(true)
+		if err := uploader.Flush(); err != nil {
+			out.err = fmt.Errorf("fleet: upload shard events: %w", err)
+		}
+	} else {
+		dataset.Append(buffer...)
+	}
+	return out
+}
+
+// estimateClassMasses Monte-Carlo-estimates, per device class, the expected
+// hazard mass of RAT transitions accumulated over one device's dwell chain
+// under the *vanilla* policy. This converts the paper's transition-failure
+// shares into per-transition probability constants that are properties of
+// the environment, independent of the deployed policy — so the patched
+// policy's avoidance of hazardous transitions genuinely removes failures.
+// classMass carries the expected transition hazard mass per device class:
+// total over all transitions, and the "risky" portion whose destination
+// signal level is 0 or 1 (the avoidable cases of Figure 17).
+type classMass struct {
+	total, risky float64
+}
+
+func estimateClassMasses(network *simnet.Network, s Scenario) map[classKey]classMass {
+	const chains = 400
+	k := s.Calibration.DwellSamples
+	if k < 2 {
+		k = 2
+	}
+	out := make(map[classKey]classMass, 3)
+	for _, class := range []classKey{
+		{fiveG: false, android9: true},
+		{fiveG: false, android9: false},
+		{fiveG: true, android9: false},
+	} {
+		var pol android.RATPolicy = android.Android10Policy{}
+		if class.android9 {
+			pol = android.Android9Policy{}
+		}
+		r := rng.SplitIndexed(s.Seed, "class-mass", int(boolBit(class.fiveG))<<1|int(boolBit(class.android9)))
+		var total, risky float64
+		for c := 0; c < chains; c++ {
+			isp := sampleISP(r)
+			prev := simnet.Attachment{}
+			cur := &android.RATOption{}
+			hasPrev := false
+			mobility := geo.NewMobility(r)
+			for i := 0; i < k; i++ {
+				region := mobility.Next(r)
+				atts, opts := sampleCandidates(network, r, isp, class.fiveG, region)
+				var choice int
+				if hasPrev {
+					if r.Bool(s.Calibration.StayProb) {
+						atts = append(atts, prev)
+						opts = append(opts, *cur)
+					}
+					choice = pol.Select(cur, opts)
+				} else {
+					choice = pol.Select(nil, opts)
+				}
+				att := atts[choice]
+				if hasPrev && att.BS != nil && prev.BS != nil && att.RAT != prev.RAT {
+					h := simnet.TransitionHazard(att)
+					total += h
+					if att.RAT == telephony.RAT5G && att.Level <= telephony.Level1 {
+						risky += h
+					}
+				}
+				prev = att
+				*cur = android.RATOption{RAT: att.RAT, Level: att.Level}
+				hasPrev = att.BS != nil
+			}
+		}
+		out[class] = classMass{total: total / chains, risky: risky / chains}
+	}
+	return out
+}
+
+func boolBit(b bool) uint {
+	if b {
+		return 1
+	}
+	return 0
+}

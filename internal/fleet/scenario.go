@@ -1,0 +1,254 @@
+package fleet
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/android"
+	"repro/internal/geo"
+	"repro/internal/monitor"
+	"repro/internal/simnet"
+	"repro/internal/telephony"
+	"repro/internal/trace"
+)
+
+// PolicyMode selects the fleet-wide RAT selection policy.
+type PolicyMode int
+
+// Policy modes.
+const (
+	// PolicyVanilla runs each device's stock policy: Android9Policy on
+	// Android 9 models, Android10Policy (blind 5G preference) on
+	// Android 10 models. This is the measurement-study configuration.
+	PolicyVanilla PolicyMode = iota
+	// PolicyStability runs the paper's stability-compatible RAT
+	// transition enhancement on every device.
+	PolicyStability
+	// PolicyNever5G is an ablation that refuses 5G entirely.
+	PolicyNever5G
+)
+
+func (p PolicyMode) String() string {
+	switch p {
+	case PolicyVanilla:
+		return "vanilla"
+	case PolicyStability:
+		return "stability-compatible"
+	case PolicyNever5G:
+		return "never-5g"
+	default:
+		return "?"
+	}
+}
+
+// Scenario configures one fleet run.
+type Scenario struct {
+	// Seed makes the run reproducible.
+	Seed int64
+	// NumDevices is the fleet size (the paper had 70M; thousands are
+	// enough to reproduce every distribution shape).
+	NumDevices int
+	// Window is the measurement window (default: the paper's 8 months).
+	Window time.Duration
+	// NumBS is the deployment size (default NumDevices/2, min 200).
+	NumBS int
+	// Policy selects the RAT policy variant.
+	Policy PolicyMode
+	// Trigger is the Data_Stall recovery trigger (default: vanilla
+	// Android's one-minute FixedTrigger; the TIMP enhancement passes a
+	// ProfileTrigger).
+	Trigger android.Trigger
+	// DualConnectivity enables 4G/5G dual connectivity on 5G models.
+	DualConnectivity bool
+	// Workers shards devices across goroutines (default GOMAXPROCS-ish 4).
+	Workers int
+	// Calibration overrides generator parameters (zero value: defaults).
+	Calibration *Calibration
+	// UploadAddr, when set, makes each shard upload its events to a
+	// trace.Collector at this address over TCP instead of appending to
+	// the in-memory dataset directly.
+	UploadAddr string
+	// MaxEventsPerDevice caps runaway heavy-tail devices (default 200k,
+	// matching the paper's observed 198,228 maximum).
+	MaxEventsPerDevice int
+	// DisableFPFilter turns off the monitor's false-positive filtering
+	// (ablation: measures dataset pollution without §2.2's filters).
+	DisableFPFilter bool
+	// Outages inject correlated regional failures: every device camped in
+	// the region during the window suffers extra stall episodes (a BS "in
+	// disrepair", §3.1's long-neglected infrastructure).
+	Outages []Outage
+}
+
+// Outage is a scheduled regional infrastructure failure.
+type Outage struct {
+	Region geo.Region
+	Start  time.Duration
+	// Window is how long the outage lasts.
+	Window time.Duration
+	// EpisodesPerDevice is the expected number of extra stall episodes a
+	// device exposed to the region during the window experiences.
+	EpisodesPerDevice float64
+}
+
+// EightMonths is the paper's measurement window (Jan.-Aug. 2020).
+const EightMonths = 8 * 30 * 24 * time.Hour
+
+func (s Scenario) withDefaults() Scenario {
+	if s.NumDevices <= 0 {
+		s.NumDevices = 2000
+	}
+	if s.Window <= 0 {
+		s.Window = EightMonths
+	}
+	if s.NumBS <= 0 {
+		s.NumBS = s.NumDevices / 2
+		if s.NumBS < 200 {
+			s.NumBS = 200
+		}
+	}
+	if s.Trigger == nil {
+		s.Trigger = android.DefaultFixedTrigger
+	}
+	if s.Workers <= 0 {
+		s.Workers = 4
+	}
+	if s.Calibration == nil {
+		c := DefaultCalibration()
+		s.Calibration = &c
+	}
+	if s.MaxEventsPerDevice <= 0 {
+		s.MaxEventsPerDevice = 200000
+	}
+	return s
+}
+
+// Patched returns a copy of the scenario with both §4.2 enhancements
+// enabled: the stability-compatible RAT policy with dual connectivity and
+// the TIMP-based recovery trigger.
+func (s Scenario) Patched(trigger android.ProfileTrigger) Scenario {
+	s.Policy = PolicyStability
+	s.DualConnectivity = true
+	s.Trigger = trigger
+	return s
+}
+
+// ratIdx indexes arrays by RAT (0 = unknown, 1..4 = 2G..5G).
+const numRATIdx = 5
+
+// TransitionMatrix accumulates RAT-transition exposures and transition-
+// induced failures per (fromRAT, fromLevel) → (toRAT, toLevel) — the raw
+// material of Figure 17.
+type TransitionMatrix struct {
+	Exposure [numRATIdx][telephony.NumSignalLevels][numRATIdx][telephony.NumSignalLevels]int64
+	Failures [numRATIdx][telephony.NumSignalLevels][numRATIdx][telephony.NumSignalLevels]int64
+}
+
+// Add accumulates other into m.
+func (m *TransitionMatrix) Add(other *TransitionMatrix) {
+	for a := 0; a < numRATIdx; a++ {
+		for b := 0; b < telephony.NumSignalLevels; b++ {
+			for c := 0; c < numRATIdx; c++ {
+				for d := 0; d < telephony.NumSignalLevels; d++ {
+					m.Exposure[a][b][c][d] += other.Exposure[a][b][c][d]
+					m.Failures[a][b][c][d] += other.Failures[a][b][c][d]
+				}
+			}
+		}
+	}
+}
+
+// FailureRate returns failures per exposure for a transition, and whether
+// the transition was observed at all.
+func (m *TransitionMatrix) FailureRate(fromRAT telephony.RAT, fromLvl telephony.SignalLevel, toRAT telephony.RAT, toLvl telephony.SignalLevel) (float64, bool) {
+	e := m.Exposure[fromRAT][fromLvl][toRAT][toLvl]
+	if e == 0 {
+		return 0, false
+	}
+	return float64(m.Failures[fromRAT][fromLvl][toRAT][toLvl]) / float64(e), true
+}
+
+// DwellStats accumulates connected time and device exposure per RAT and
+// signal level — the denominators of the normalized prevalence in
+// Figures 15 and 16.
+type DwellStats struct {
+	// Seconds of connected time by [RAT][level].
+	Seconds [numRATIdx][telephony.NumSignalLevels]float64
+	// DevicesExposed counts devices that dwelled at [RAT][level].
+	DevicesExposed [numRATIdx][telephony.NumSignalLevels]int64
+	// DevicesOnRAT counts devices that ever camped on each RAT.
+	DevicesOnRAT [numRATIdx]int64
+	// DevicesOnBSRAT counts devices that ever camped on a BS supporting
+	// each RAT (Figure 14's denominator).
+	DevicesOnBSRAT [numRATIdx]int64
+}
+
+// Add accumulates other into d.
+func (d *DwellStats) Add(other *DwellStats) {
+	for a := 0; a < numRATIdx; a++ {
+		d.DevicesOnRAT[a] += other.DevicesOnRAT[a]
+		d.DevicesOnBSRAT[a] += other.DevicesOnBSRAT[a]
+		for b := 0; b < telephony.NumSignalLevels; b++ {
+			d.Seconds[a][b] += other.Seconds[a][b]
+			d.DevicesExposed[a][b] += other.DevicesExposed[a][b]
+		}
+	}
+}
+
+// Population records fleet composition — the denominators for prevalence
+// computations.
+type Population struct {
+	Total    int
+	ByModel  [35]int // 1-based model IDs
+	ByISP    [simnet.NumISPs]int
+	FiveG    int
+	Android9 int
+	// Android10No5G counts Android 10 devices without 5G hardware (the
+	// paper's footnote-4 fair-comparison group).
+	Android10No5G int
+}
+
+// Add accumulates other into p.
+func (p *Population) Add(other *Population) {
+	p.Total += other.Total
+	p.FiveG += other.FiveG
+	p.Android9 += other.Android9
+	p.Android10No5G += other.Android10No5G
+	for i := range p.ByModel {
+		p.ByModel[i] += other.ByModel[i]
+	}
+	for i := range p.ByISP {
+		p.ByISP[i] += other.ByISP[i]
+	}
+}
+
+// OverheadSummary aggregates per-device monitoring overheads.
+type OverheadSummary struct {
+	Devices            int
+	MeanCPUUtilization float64
+	MaxCPUUtilization  float64
+	MaxMemoryBytes     int64
+	MaxStorageBytes    int64
+	MaxNetworkBytes    int64
+	TotalNetworkBytes  int64
+}
+
+// Result is a completed fleet run.
+type Result struct {
+	Scenario    Scenario
+	Dataset     *trace.Dataset
+	Population  Population
+	Transitions TransitionMatrix
+	Dwell       DwellStats
+	Monitor     monitor.Stats
+	Overhead    OverheadSummary
+	// Network is the generated deployment (BS census for Figures 11/14).
+	Network *simnet.Network
+}
+
+// String summarizes the run.
+func (r *Result) String() string {
+	return fmt.Sprintf("fleet run: %d devices, %d BSes, %d events (policy=%v trigger=%s)",
+		r.Population.Total, len(r.Network.Stations), r.Dataset.Len(),
+		r.Scenario.Policy, r.Scenario.Trigger.Name())
+}

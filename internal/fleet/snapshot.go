@@ -1,0 +1,143 @@
+package fleet
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/failure"
+	"repro/internal/simnet"
+	"repro/internal/trace"
+)
+
+// Snapshot is the serializable form of a fleet Result, so cmd tools can
+// simulate once and analyze many times.
+type Snapshot struct {
+	// ScenarioSeed etc. record how the run was produced.
+	ScenarioSeed int64
+	NumDevices   int
+	Window       time.Duration
+	PolicyName   string
+	TriggerName  string
+
+	Events      []failure.Event
+	Population  Population
+	Transitions TransitionMatrix
+	Dwell       DwellStats
+	Stations    []simnet.BaseStation
+	Monitor     monitorStatsSnapshot
+	Overhead    OverheadSummary
+}
+
+// monitorStatsSnapshot mirrors monitor.Stats with exported gob-friendly
+// fields only.
+type monitorStatsSnapshot struct {
+	Recorded        int
+	FilteredSetup   int
+	FilteredStalls  int
+	ByFPClass       [failure.NumFalsePositiveClasses]int
+	ProbeRounds     int
+	StallsMeasured  int
+	LegacyFallbacks int
+}
+
+// Snapshot converts a Result for persistence.
+func (r *Result) Snapshot() *Snapshot {
+	s := &Snapshot{
+		ScenarioSeed: r.Scenario.Seed,
+		NumDevices:   r.Scenario.NumDevices,
+		Window:       r.Scenario.Window,
+		PolicyName:   r.Scenario.Policy.String(),
+		TriggerName:  r.Scenario.Trigger.Name(),
+		Events:       r.Dataset.Events(),
+		Population:   r.Population,
+		Transitions:  r.Transitions,
+		Dwell:        r.Dwell,
+		Monitor: monitorStatsSnapshot{
+			Recorded:        r.Monitor.Recorded,
+			FilteredSetup:   r.Monitor.FilteredSetup,
+			FilteredStalls:  r.Monitor.FilteredStalls,
+			ByFPClass:       r.Monitor.ByFPClass,
+			ProbeRounds:     r.Monitor.ProbeRounds,
+			StallsMeasured:  r.Monitor.StallsMeasured,
+			LegacyFallbacks: r.Monitor.LegacyFallbacks,
+		},
+		Overhead: r.Overhead,
+	}
+	for _, bs := range r.Network.Stations {
+		s.Stations = append(s.Stations, *bs)
+	}
+	return s
+}
+
+// Restore rebuilds an analyzable Result. The scenario carries only the
+// recorded identifying fields; it cannot be re-run as-is.
+func (s *Snapshot) Restore() *Result {
+	ds := trace.NewDataset()
+	ds.Append(s.Events...)
+	stations := make([]*simnet.BaseStation, len(s.Stations))
+	for i := range s.Stations {
+		bs := s.Stations[i]
+		stations[i] = &bs
+	}
+	res := &Result{
+		Scenario:    Scenario{Seed: s.ScenarioSeed, NumDevices: s.NumDevices, Window: s.Window}.withDefaults(),
+		Dataset:     ds,
+		Population:  s.Population,
+		Transitions: s.Transitions,
+		Dwell:       s.Dwell,
+		Network:     simnet.FromStations(stations),
+		Overhead:    s.Overhead,
+	}
+	res.Monitor.Recorded = s.Monitor.Recorded
+	res.Monitor.FilteredSetup = s.Monitor.FilteredSetup
+	res.Monitor.FilteredStalls = s.Monitor.FilteredStalls
+	res.Monitor.ByFPClass = s.Monitor.ByFPClass
+	res.Monitor.ProbeRounds = s.Monitor.ProbeRounds
+	res.Monitor.StallsMeasured = s.Monitor.StallsMeasured
+	res.Monitor.LegacyFallbacks = s.Monitor.LegacyFallbacks
+	return res
+}
+
+// SaveResult persists a result as gzip+gob.
+func SaveResult(path string, r *Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	bw := bufio.NewWriter(f)
+	zw := gzip.NewWriter(bw)
+	if err := gob.NewEncoder(zw).Encode(r.Snapshot()); err != nil {
+		return fmt.Errorf("fleet: encode snapshot: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadResult reads a result saved by SaveResult.
+func LoadResult(path string) (*Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(bufio.NewReader(f))
+	if err != nil {
+		return nil, fmt.Errorf("fleet: open snapshot: %w", err)
+	}
+	defer zr.Close()
+	var s Snapshot
+	if err := gob.NewDecoder(zr).Decode(&s); err != nil {
+		return nil, fmt.Errorf("fleet: decode snapshot: %w", err)
+	}
+	return s.Restore(), nil
+}

@@ -1,0 +1,74 @@
+package fleet
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/failure"
+)
+
+// SweepPoint names one scenario variant in a parameter sweep.
+type SweepPoint struct {
+	Name     string
+	Scenario Scenario
+}
+
+// SweepMetrics are the per-variant headline metrics ablation studies
+// compare.
+type SweepMetrics struct {
+	Name string
+	// Events is the total recorded failure count.
+	Events int
+	// Prevalence is the fraction of devices with at least one failure.
+	Prevalence float64
+	// FiveGFrequency is failures per 5G device.
+	FiveGFrequency float64
+	// MeanStallSeconds is the mean Data_Stall duration.
+	MeanStallSeconds float64
+	// FilteredFalsePositives counts suspicious events the monitor dropped.
+	FilteredFalsePositives int
+}
+
+// Sweep runs each variant and extracts its metrics. Runs execute
+// sequentially so their internal worker shards don't contend.
+func Sweep(points []SweepPoint) ([]SweepMetrics, error) {
+	out := make([]SweepMetrics, 0, len(points))
+	for _, p := range points {
+		res, err := Run(p.Scenario)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: sweep %q: %w", p.Name, err)
+		}
+		out = append(out, ExtractMetrics(p.Name, res))
+	}
+	return out, nil
+}
+
+// ExtractMetrics summarizes one run for sweep comparison.
+func ExtractMetrics(name string, res *Result) SweepMetrics {
+	m := SweepMetrics{Name: name, Events: res.Dataset.Len()}
+	devices := map[uint64]bool{}
+	fiveGEvents := 0
+	var stallDur time.Duration
+	stalls := 0
+	res.Dataset.Each(func(e *failure.Event) {
+		devices[e.DeviceID] = true
+		if e.FiveGCapable {
+			fiveGEvents++
+		}
+		if e.Kind == failure.DataStall {
+			stallDur += e.Duration
+			stalls++
+		}
+	})
+	if res.Population.Total > 0 {
+		m.Prevalence = float64(len(devices)) / float64(res.Population.Total)
+	}
+	if res.Population.FiveG > 0 {
+		m.FiveGFrequency = float64(fiveGEvents) / float64(res.Population.FiveG)
+	}
+	if stalls > 0 {
+		m.MeanStallSeconds = stallDur.Seconds() / float64(stalls)
+	}
+	m.FilteredFalsePositives = res.Monitor.FilteredSetup + res.Monitor.FilteredStalls
+	return m
+}

@@ -1,0 +1,147 @@
+package geo
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestRegionStrings(t *testing.T) {
+	want := map[Region]string{
+		Urban: "urban", Suburban: "suburban", Rural: "rural",
+		Remote: "remote", TransportHub: "transport-hub", Region(99): "unknown",
+	}
+	for r, s := range want {
+		if r.String() != s {
+			t.Errorf("%d.String() = %q, want %q", r, r.String(), s)
+		}
+	}
+}
+
+func TestProfileSharesSum(t *testing.T) {
+	var bs, traffic float64
+	for _, p := range Profiles() {
+		bs += p.BSShare
+		traffic += p.TrafficShare
+	}
+	if math.Abs(bs-1) > 1e-9 {
+		t.Errorf("BS shares sum to %v, want 1", bs)
+	}
+	if math.Abs(traffic-1) > 1e-9 {
+		t.Errorf("traffic shares sum to %v, want 1", traffic)
+	}
+}
+
+func TestProfileIndexConsistency(t *testing.T) {
+	for i, p := range Profiles() {
+		if p.Region != Region(i) {
+			t.Errorf("profile at index %d has Region %v", i, p.Region)
+		}
+		if p.Region.Profile() != p {
+			t.Errorf("Profile() accessor mismatch for %v", p.Region)
+		}
+	}
+}
+
+func TestPaperDrivenOrderings(t *testing.T) {
+	ps := Profiles()
+	// Transport hubs have the strongest interference (dense uncoordinated
+	// deployment, adjacent-channel overlap).
+	for _, p := range ps {
+		if p.Region != TransportHub && p.InterferenceFactor >= ps[TransportHub].InterferenceFactor {
+			t.Errorf("%v interference %v >= transport hub %v", p.Region, p.InterferenceFactor, ps[TransportHub].InterferenceFactor)
+		}
+	}
+	// Remote regions have by far the largest neglect factor (25.5 h outages).
+	for _, p := range ps {
+		if p.Region != Remote && p.NeglectFactor >= ps[Remote].NeglectFactor {
+			t.Errorf("%v neglect %v >= remote %v", p.Region, p.NeglectFactor, ps[Remote].NeglectFactor)
+		}
+	}
+	if !ps[TransportHub].DenseDeployment {
+		t.Error("transport hub must be dense-deployment")
+	}
+	if ps[Urban].DenseDeployment {
+		t.Error("urban must not be flagged dense-deployment")
+	}
+}
+
+func TestOutOfRangeProfile(t *testing.T) {
+	p := Region(200).Profile()
+	if p.BSShare != 0 || p.TrafficShare != 0 {
+		t.Error("out-of-range region should produce zero profile")
+	}
+}
+
+func TestMobilityStationaryDistribution(t *testing.T) {
+	r := rng.New(11)
+	visits := make([]int, NumRegions)
+	const devices, steps = 200, 400
+	for d := 0; d < devices; d++ {
+		m := NewMobility(r)
+		for s := 0; s < steps; s++ {
+			visits[m.Next(r)]++
+		}
+	}
+	total := float64(devices * steps)
+	for _, p := range Profiles() {
+		got := float64(visits[p.Region]) / total
+		// The Markov chain's stationary distribution tracks traffic shares
+		// loosely (self-loops skew it); require the right order of magnitude.
+		if got < p.TrafficShare/3 || got > p.TrafficShare*3+0.05 {
+			t.Errorf("%v visit share %.3f vs traffic share %.3f", p.Region, got, p.TrafficShare)
+		}
+	}
+}
+
+func TestMobilityPersistence(t *testing.T) {
+	r := rng.New(12)
+	m := NewMobility(r)
+	same, steps := 0, 2000
+	prev := m.Region()
+	for i := 0; i < steps; i++ {
+		cur := m.Next(r)
+		if cur == prev {
+			same++
+		}
+		prev = cur
+	}
+	// Visits are persistent: the self-transition rate is far above what
+	// i.i.d. sampling over traffic shares would give (~0.40).
+	if frac := float64(same) / float64(steps); frac < 0.55 {
+		t.Errorf("self-transition rate %.2f, want persistent (> 0.55)", frac)
+	}
+}
+
+func TestMobilityHubIsTransient(t *testing.T) {
+	r := rng.New(13)
+	m := NewMobility(r)
+	hubRuns, runLen := 0, 0
+	var totalRun int
+	for i := 0; i < 50000; i++ {
+		if m.Next(r) == TransportHub {
+			runLen++
+		} else if runLen > 0 {
+			hubRuns++
+			totalRun += runLen
+			runLen = 0
+		}
+	}
+	if hubRuns == 0 {
+		t.Skip("no hub visits in the sample")
+	}
+	if mean := float64(totalRun) / float64(hubRuns); mean > 2.5 {
+		t.Errorf("mean hub stay %.1f steps; hub visits must be brief", mean)
+	}
+}
+
+func TestMobilityDeterministic(t *testing.T) {
+	a, b := NewMobility(rng.New(7)), NewMobility(rng.New(7))
+	ra, rb := rng.New(8), rng.New(8)
+	for i := 0; i < 100; i++ {
+		if a.Next(ra) != b.Next(rb) {
+			t.Fatal("mobility not deterministic")
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package geo
+
+import "repro/internal/rng"
+
+// Mobility is a per-device Markov model over region types: a phone that is
+// in a suburb now is most likely still in a suburb at the next sample, with
+// occasional commutes through transport hubs. Stationary visit frequencies
+// stay close to the TrafficShare profile, but visits are *persistent*,
+// which matters for dwell accounting and for RAT-transition dynamics (a
+// commuter hits the hub twice a day; an i.i.d. sampler smears those visits
+// uniformly).
+type Mobility struct {
+	state Region
+	rows  *[NumRegions]*rng.Categorical
+}
+
+// mobilityRows builds the shared transition table: strong self-loops with
+// off-diagonal mass proportional to the destination's traffic share.
+var mobilityRows = func() *[NumRegions]*rng.Categorical {
+	profiles := Profiles()
+	var rows [NumRegions]*rng.Categorical
+	for from := 0; from < NumRegions; from++ {
+		stay := 0.72
+		if Region(from) == TransportHub {
+			stay = 0.15 // nobody lives at the station
+		}
+		ws := make([]float64, NumRegions)
+		var offTotal float64
+		for to := 0; to < NumRegions; to++ {
+			if to != from {
+				offTotal += profiles[to].TrafficShare
+			}
+		}
+		for to := 0; to < NumRegions; to++ {
+			if to == from {
+				ws[to] = stay
+			} else {
+				ws[to] = (1 - stay) * profiles[to].TrafficShare / offTotal
+			}
+		}
+		rows[from] = rng.NewCategorical(ws)
+	}
+	return &rows
+}()
+
+// NewMobility starts a device at a region drawn from the traffic shares.
+func NewMobility(r *rng.Source) *Mobility {
+	profiles := Profiles()
+	ws := make([]float64, NumRegions)
+	for i, p := range profiles {
+		ws[i] = p.TrafficShare
+	}
+	start := Region(rng.NewCategorical(ws).Draw(r))
+	return &Mobility{state: start, rows: mobilityRows}
+}
+
+// Region returns the current region.
+func (m *Mobility) Region() Region { return m.state }
+
+// Next advances one mobility step and returns the new region.
+func (m *Mobility) Next(r *rng.Source) Region {
+	m.state = Region(m.rows[m.state].Draw(r))
+	return m.state
+}

@@ -1,0 +1,162 @@
+package netprobe
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Minimal DNS wire-format encoding/decoding (RFC 1035) for the live
+// prober's queries. Only what the probing component needs: building an A
+// query for the dedicated test server's name and checking that a response
+// parses and answers the same question.
+
+// DNS constants.
+const (
+	dnsTypeA   = 1
+	dnsClassIN = 1
+	// dnsFlagsRD is a standard query with recursion desired.
+	dnsFlagsRD = 0x0100
+	// maxDNSMessage bounds a UDP DNS message.
+	maxDNSMessage = 512
+)
+
+// errDNSFormat reports a malformed message.
+var errDNSFormat = errors.New("netprobe: malformed DNS message")
+
+// encodeDNSQuery builds an A/IN query for name with the given ID.
+func encodeDNSQuery(id uint16, name string) ([]byte, error) {
+	qname, err := encodeDNSName(name)
+	if err != nil {
+		return nil, err
+	}
+	msg := make([]byte, 0, 12+len(qname)+4)
+	var hdr [12]byte
+	binary.BigEndian.PutUint16(hdr[0:], id)
+	binary.BigEndian.PutUint16(hdr[2:], dnsFlagsRD)
+	binary.BigEndian.PutUint16(hdr[4:], 1) // QDCOUNT
+	msg = append(msg, hdr[:]...)
+	msg = append(msg, qname...)
+	var tail [4]byte
+	binary.BigEndian.PutUint16(tail[0:], dnsTypeA)
+	binary.BigEndian.PutUint16(tail[2:], dnsClassIN)
+	msg = append(msg, tail[:]...)
+	return msg, nil
+}
+
+// encodeDNSName converts "a.example.com" to length-prefixed labels.
+func encodeDNSName(name string) ([]byte, error) {
+	name = strings.TrimSuffix(name, ".")
+	if name == "" {
+		return nil, fmt.Errorf("netprobe: empty DNS name")
+	}
+	var out []byte
+	for _, label := range strings.Split(name, ".") {
+		if len(label) == 0 || len(label) > 63 {
+			return nil, fmt.Errorf("netprobe: bad DNS label %q", label)
+		}
+		out = append(out, byte(len(label)))
+		out = append(out, label...)
+	}
+	if len(out) > 253 {
+		return nil, fmt.Errorf("netprobe: DNS name too long")
+	}
+	return append(out, 0), nil
+}
+
+// dnsResponse is the subset of a parsed response the prober cares about.
+type dnsResponse struct {
+	ID      uint16
+	RCode   uint8
+	Answers int
+}
+
+// decodeDNSResponse parses a response header and skips the question
+// section; it does not need the answer bodies, only their count and the
+// response code.
+func decodeDNSResponse(msg []byte) (dnsResponse, error) {
+	if len(msg) < 12 {
+		return dnsResponse{}, errDNSFormat
+	}
+	flags := binary.BigEndian.Uint16(msg[2:])
+	if flags&0x8000 == 0 {
+		return dnsResponse{}, fmt.Errorf("netprobe: not a DNS response")
+	}
+	resp := dnsResponse{
+		ID:      binary.BigEndian.Uint16(msg[0:]),
+		RCode:   uint8(flags & 0xF),
+		Answers: int(binary.BigEndian.Uint16(msg[6:])),
+	}
+	// Validate that the question section parses.
+	qd := int(binary.BigEndian.Uint16(msg[4:]))
+	off := 12
+	for q := 0; q < qd; q++ {
+		var err error
+		off, err = skipDNSName(msg, off)
+		if err != nil {
+			return dnsResponse{}, err
+		}
+		off += 4 // QTYPE + QCLASS
+		if off > len(msg) {
+			return dnsResponse{}, errDNSFormat
+		}
+	}
+	return resp, nil
+}
+
+// skipDNSName advances past a (possibly compressed) name.
+func skipDNSName(msg []byte, off int) (int, error) {
+	for {
+		if off >= len(msg) {
+			return 0, errDNSFormat
+		}
+		l := int(msg[off])
+		switch {
+		case l == 0:
+			return off + 1, nil
+		case l&0xC0 == 0xC0: // compression pointer ends the name
+			if off+2 > len(msg) {
+				return 0, errDNSFormat
+			}
+			return off + 2, nil
+		case l > 63:
+			return 0, errDNSFormat
+		default:
+			off += 1 + l
+		}
+	}
+}
+
+// buildDNSResponse creates a minimal valid response to a query: same ID,
+// same question, nAnswers fake A records. Used by the test DNS server and
+// by examples; a real resolver's response parses the same way.
+func buildDNSResponse(query []byte, nAnswers int, rcode uint8) ([]byte, error) {
+	if len(query) < 12 {
+		return nil, errDNSFormat
+	}
+	qend, err := skipDNSName(query, 12)
+	if err != nil {
+		return nil, err
+	}
+	qend += 4
+	if qend > len(query) {
+		return nil, errDNSFormat
+	}
+	resp := make([]byte, 0, qend+nAnswers*16)
+	resp = append(resp, query[:qend]...)
+	binary.BigEndian.PutUint16(resp[2:], 0x8180|uint16(rcode)) // QR|RD|RA
+	binary.BigEndian.PutUint16(resp[6:], uint16(nAnswers))
+	for i := 0; i < nAnswers; i++ {
+		// Compressed pointer to the question name at offset 12.
+		resp = append(resp, 0xC0, 12)
+		var rr [10]byte
+		binary.BigEndian.PutUint16(rr[0:], dnsTypeA)
+		binary.BigEndian.PutUint16(rr[2:], dnsClassIN)
+		binary.BigEndian.PutUint32(rr[4:], 60) // TTL
+		binary.BigEndian.PutUint16(rr[8:], 4)  // RDLENGTH
+		resp = append(resp, rr[:]...)
+		resp = append(resp, 127, 0, 0, byte(1+i))
+	}
+	return resp, nil
+}

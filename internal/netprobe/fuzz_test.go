@@ -1,0 +1,68 @@
+package netprobe
+
+import (
+	"testing"
+)
+
+// FuzzDecodeDNSResponse hardens the hand-rolled RFC 1035 parser against
+// arbitrary datagrams: it must never panic and never claim success on
+// garbage that lacks the response bit.
+func FuzzDecodeDNSResponse(f *testing.F) {
+	q, _ := encodeDNSQuery(42, "probe.cellrel.test")
+	ok, _ := buildDNSResponse(q, 1, 0)
+	f.Add(ok)
+	f.Add(q)
+	f.Add([]byte{})
+	f.Add([]byte{0xC0, 0x0C})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		resp, err := decodeDNSResponse(data)
+		if err != nil {
+			return
+		}
+		if len(data) < 12 {
+			t.Fatalf("accepted %d-byte message", len(data))
+		}
+		if data[2]&0x80 == 0 {
+			t.Fatal("accepted a message without the response bit")
+		}
+		if resp.Answers < 0 {
+			t.Fatal("negative answer count")
+		}
+	})
+}
+
+// FuzzSkipDNSName must terminate and stay in bounds for any input.
+func FuzzSkipDNSName(f *testing.F) {
+	f.Add([]byte{5, 'a', 'b', 'c', 'd', 'e', 0}, 0)
+	f.Add([]byte{0xC0, 0x04}, 0)
+	f.Add([]byte{63}, 0)
+	f.Fuzz(func(t *testing.T, data []byte, off int) {
+		if off < 0 {
+			off = 0
+		}
+		end, err := skipDNSName(data, off)
+		if err == nil && (end < 0 || end > len(data)+2) {
+			t.Fatalf("end %d out of bounds for %d bytes", end, len(data))
+		}
+	})
+}
+
+// FuzzEncodeDNSName: any accepted name must round-trip through the label
+// encoding without panicking, and reject over-limit labels.
+func FuzzEncodeDNSName(f *testing.F) {
+	f.Add("example.com")
+	f.Add("a..b")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, name string) {
+		out, err := encodeDNSName(name)
+		if err != nil {
+			return
+		}
+		if len(out) == 0 || out[len(out)-1] != 0 {
+			t.Fatal("encoded name not zero-terminated")
+		}
+		if len(out) > 255 {
+			t.Fatalf("encoded name %d bytes", len(out))
+		}
+	})
+}

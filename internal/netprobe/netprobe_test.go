@@ -1,0 +1,226 @@
+package netprobe
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+func newProbe(t *testing.T, cond Condition) (*simclock.Scheduler, *SimHost, *Prober, *[]Outcome) {
+	t.Helper()
+	clock := simclock.NewScheduler()
+	host := NewSimHost(clock)
+	host.SetCondition(cond)
+	var outs []Outcome
+	p := NewProber(clock, host, DefaultConfig(), func(o Outcome) { outs = append(outs, o) })
+	return clock, host, p, &outs
+}
+
+func TestHealthyHostRecoversImmediately(t *testing.T) {
+	clock, _, p, outs := newProbe(t, Healthy)
+	p.Start()
+	clock.RunAll()
+	if len(*outs) != 1 {
+		t.Fatalf("outcomes = %d, want 1", len(*outs))
+	}
+	o := (*outs)[0]
+	if o.Verdict != VerdictRecovered || o.Rounds != 1 || o.Duration != 0 {
+		t.Errorf("outcome = %+v", o)
+	}
+}
+
+func TestSystemSideFaultsClassifiedAsFalsePositive(t *testing.T) {
+	for _, cond := range []Condition{FirewallMisconfig, ProxyProblem, ModemDriverFailure} {
+		clock, _, p, outs := newProbe(t, cond)
+		p.Start()
+		clock.RunAll()
+		if len(*outs) != 1 || (*outs)[0].Verdict != VerdictSystemSideFP {
+			t.Errorf("%v: outcome = %+v, want system-side FP", cond, *outs)
+		}
+		if !cond.SystemSide() {
+			t.Errorf("%v.SystemSide() = false", cond)
+		}
+	}
+}
+
+func TestDNSOnlyFailureClassified(t *testing.T) {
+	clock, _, p, outs := newProbe(t, DNSUnavailable)
+	p.Start()
+	clock.RunAll()
+	if len(*outs) != 1 || (*outs)[0].Verdict != VerdictDNSFP {
+		t.Fatalf("outcome = %+v, want DNS FP", *outs)
+	}
+	// Classification takes one round: DNS timeout of 5 s dominates.
+	if got := (*outs)[0].Duration; got != 0 {
+		t.Errorf("duration = %v, want 0 (single round verdict)", got)
+	}
+}
+
+func TestNetworkStallMeasuredWithinFiveSeconds(t *testing.T) {
+	clock, host, p, outs := newProbe(t, NetworkDown)
+	p.Start()
+	trueDuration := 47 * time.Second
+	clock.At(trueDuration, func() { host.SetCondition(Healthy) })
+	clock.RunAll()
+	if len(*outs) != 1 {
+		t.Fatalf("outcomes = %d", len(*outs))
+	}
+	o := (*outs)[0]
+	if o.Verdict != VerdictRecovered {
+		t.Fatalf("verdict = %v", o.Verdict)
+	}
+	if o.Duration < trueDuration-5*time.Second || o.Duration > trueDuration+5*time.Second {
+		t.Errorf("measured %v for a %v stall; error must be ≤ 5 s", o.Duration, trueDuration)
+	}
+	if o.MaxError > 5*time.Second {
+		t.Errorf("MaxError = %v, want ≤ 5 s before backoff", o.MaxError)
+	}
+	if o.Rounds < 5 {
+		t.Errorf("rounds = %d; a 47 s network stall needs ~10 rounds", o.Rounds)
+	}
+	if o.RevertedToLegacy {
+		t.Error("short stall must not revert to legacy")
+	}
+}
+
+func TestShortStallFineGranularity(t *testing.T) {
+	clock, host, p, outs := newProbe(t, NetworkDown)
+	p.Start()
+	clock.At(7*time.Second, func() { host.SetCondition(Healthy) })
+	clock.RunAll()
+	o := (*outs)[0]
+	// Vanilla Android would report ≥ 60 s here; the prober must do much
+	// better (the paper's whole point for short stalls).
+	if o.Duration > 12*time.Second {
+		t.Errorf("measured %v for a 7 s stall", o.Duration)
+	}
+}
+
+func TestBackoffDoublesTimeoutsPast1200s(t *testing.T) {
+	clock, host, p, outs := newProbe(t, NetworkDown)
+	p.Start()
+	clock.At(1300*time.Second, func() { host.SetCondition(Healthy) })
+	clock.RunAll()
+	o := (*outs)[0]
+	if o.Verdict != VerdictRecovered {
+		t.Fatalf("verdict = %v", o.Verdict)
+	}
+	// Before 1200 s: 5 s rounds → 240 rounds. After: doubling rounds.
+	// Total rounds must be far below 260 (pure 5 s rounds would need 260).
+	if o.Rounds >= 260 {
+		t.Errorf("rounds = %d; backoff should have reduced round count", o.Rounds)
+	}
+	// Doubling reaches the one-minute revert threshold within ~75 s past
+	// the backoff point (10+20+40 s rounds, then DNS timeout 80 s > 60 s),
+	// so the error bound is the legacy one minute.
+	if o.Duration < 1240*time.Second || o.Duration > 1360*time.Second {
+		t.Errorf("measured %v for a 1300 s stall; must be within legacy error", o.Duration)
+	}
+}
+
+func TestRevertToLegacyOnVeryLongStall(t *testing.T) {
+	clock, host, p, outs := newProbe(t, NetworkDown)
+	p.Start()
+	trueDuration := 4000 * time.Second
+	clock.At(trueDuration, func() { host.SetCondition(Healthy) })
+	clock.RunAll()
+	o := (*outs)[0]
+	if !o.RevertedToLegacy {
+		t.Fatalf("a %v stall should force legacy fallback, got %+v", trueDuration, o)
+	}
+	if o.Verdict != VerdictRecovered {
+		t.Errorf("verdict = %v", o.Verdict)
+	}
+	if o.MaxError != time.Minute {
+		t.Errorf("legacy MaxError = %v, want 1 minute", o.MaxError)
+	}
+	if o.Duration < trueDuration-time.Minute || o.Duration > trueDuration+time.Minute {
+		t.Errorf("legacy-measured %v for a %v stall", o.Duration, trueDuration)
+	}
+}
+
+func TestAbortSuppressesOutcome(t *testing.T) {
+	clock, _, p, outs := newProbe(t, NetworkDown)
+	p.Start()
+	clock.At(12*time.Second, func() { p.Abort() })
+	clock.Run(100 * time.Second)
+	if len(*outs) != 0 {
+		t.Fatalf("aborted probe produced outcome %+v", *outs)
+	}
+	if p.Active() {
+		t.Error("prober still active after abort")
+	}
+}
+
+func TestStartIdempotentWhileActive(t *testing.T) {
+	clock, host, p, outs := newProbe(t, NetworkDown)
+	p.Start()
+	clock.At(2*time.Second, func() { p.Start() }) // ignored
+	clock.At(9*time.Second, func() { host.SetCondition(Healthy) })
+	clock.RunAll()
+	if len(*outs) != 1 {
+		t.Fatalf("outcomes = %d, want 1", len(*outs))
+	}
+}
+
+func TestProberReusable(t *testing.T) {
+	clock, host, p, outs := newProbe(t, NetworkDown)
+	p.Start()
+	clock.At(6*time.Second, func() { host.SetCondition(Healthy) })
+	clock.RunAll()
+	host.SetCondition(NetworkDown)
+	p.Start()
+	clock.At(clock.Now()+11*time.Second, func() { host.SetCondition(Healthy) })
+	clock.RunAll()
+	if len(*outs) != 2 {
+		t.Fatalf("outcomes = %d, want 2", len(*outs))
+	}
+	if (*outs)[1].Duration > 16*time.Second {
+		t.Errorf("second episode measured %v, want ≈11 s", (*outs)[1].Duration)
+	}
+}
+
+func TestZeroDNSServersClampedToOne(t *testing.T) {
+	clock, host, p, outs := newProbe(t, Healthy)
+	host.NumDNSServers = 0
+	p.Start()
+	clock.RunAll()
+	if len(*outs) != 1 || (*outs)[0].Verdict != VerdictRecovered {
+		t.Fatalf("outcome = %+v", *outs)
+	}
+}
+
+func TestInvalidConfigDefaults(t *testing.T) {
+	clock := simclock.NewScheduler()
+	p := NewProber(clock, NewSimHost(clock), Config{}, nil)
+	if p.cfg.ICMPTimeout != time.Second || p.cfg.DNSTimeout != 5*time.Second {
+		t.Errorf("config not defaulted: %+v", p.cfg)
+	}
+}
+
+func TestConditionStrings(t *testing.T) {
+	for c := Healthy; c <= DNSUnavailable; c++ {
+		if c.String() == "unknown" {
+			t.Errorf("condition %d has no string", c)
+		}
+	}
+	if Condition(99).String() != "unknown" {
+		t.Error("out-of-range condition should be unknown")
+	}
+	for v := VerdictStillStalled; v <= VerdictDNSFP; v++ {
+		if v.String() == "unknown" {
+			t.Errorf("verdict %d has no string", v)
+		}
+	}
+	if Verdict(99).String() != "unknown" {
+		t.Error("out-of-range verdict should be unknown")
+	}
+}
+
+func TestOnDoneNilIsSafe(t *testing.T) {
+	clock := simclock.NewScheduler()
+	p := NewProber(clock, NewSimHost(clock), DefaultConfig(), nil)
+	p.Start()
+	clock.RunAll() // must not panic
+}

@@ -1,0 +1,184 @@
+// Package simclock provides a deterministic discrete-event simulation
+// runtime: a virtual clock and an event scheduler.
+//
+// The paper's measurement spans eight months of wall-clock time on real
+// phones. We substitute virtual time: every timer in the reproduced Android
+// stack (probation timers, probe timeouts, stall detection windows) is
+// scheduled on a Scheduler, so months of fleet activity execute in seconds
+// and runs are exactly reproducible for a given seed.
+package simclock
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is virtual time elapsed since the start of the simulation.
+type Time = time.Duration
+
+// Scheduler is a single-threaded discrete-event scheduler. It is not safe
+// for concurrent use; a fleet run shards devices across independent
+// Schedulers instead of sharing one.
+type Scheduler struct {
+	now    Time
+	queue  eventQueue
+	seq    uint64
+	halted bool
+}
+
+// NewScheduler returns a Scheduler with the clock at zero.
+func NewScheduler() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Timer is a handle to a scheduled event; it can be stopped before firing.
+type Timer struct {
+	at      Time
+	seq     uint64
+	fn      func()
+	stopped bool
+	fired   bool
+}
+
+// Stop cancels the timer. It reports whether the call prevented the timer
+// from firing (false if it already fired or was already stopped).
+func (t *Timer) Stop() bool {
+	if t == nil || t.fired || t.stopped {
+		return false
+	}
+	t.stopped = true
+	return true
+}
+
+// Active reports whether the timer is still pending.
+func (t *Timer) Active() bool { return t != nil && !t.fired && !t.stopped }
+
+// When returns the virtual time at which the timer fires (or fired).
+func (t *Timer) When() Time { return t.at }
+
+// At schedules fn to run at absolute virtual time at. Scheduling in the past
+// panics: it is always a logic error in a discrete-event model.
+func (s *Scheduler) At(at Time, fn func()) *Timer {
+	if at < s.now {
+		panic(fmt.Sprintf("simclock: schedule at %v before now %v", at, s.now))
+	}
+	if fn == nil {
+		panic("simclock: nil event function")
+	}
+	s.seq++
+	t := &Timer{at: at, seq: s.seq, fn: fn}
+	heap.Push(&s.queue, t)
+	return t
+}
+
+// After schedules fn to run d after the current virtual time.
+func (s *Scheduler) After(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Step executes the single earliest pending event, advancing the clock to
+// its deadline. It reports whether an event was executed.
+func (s *Scheduler) Step() bool {
+	for s.queue.Len() > 0 {
+		t := heap.Pop(&s.queue).(*Timer)
+		if t.stopped {
+			continue
+		}
+		s.now = t.at
+		t.fired = true
+		t.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events in timestamp order until the queue is empty, the
+// clock passes until, or Halt is called. It returns the number of events
+// executed. The clock is left at until if the queue drained earlier, so a
+// subsequent Run continues from a well-defined point.
+func (s *Scheduler) Run(until Time) int {
+	s.halted = false
+	n := 0
+	for !s.halted {
+		t := s.peek()
+		if t == nil || t.at > until {
+			break
+		}
+		s.Step()
+		n++
+	}
+	if !s.halted && s.now < until {
+		s.now = until
+	}
+	return n
+}
+
+// RunAll executes events until the queue is empty or Halt is called,
+// returning the number of events executed.
+func (s *Scheduler) RunAll() int {
+	s.halted = false
+	n := 0
+	for !s.halted && s.Step() {
+		n++
+	}
+	return n
+}
+
+// Halt stops a Run/RunAll in progress after the current event returns.
+func (s *Scheduler) Halt() { s.halted = true }
+
+// Pending returns the number of pending (not stopped) events.
+func (s *Scheduler) Pending() int {
+	n := 0
+	for _, t := range s.queue {
+		if !t.stopped {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *Scheduler) peek() *Timer {
+	for s.queue.Len() > 0 {
+		t := s.queue[0]
+		if t.stopped {
+			heap.Pop(&s.queue)
+			continue
+		}
+		return t
+	}
+	return nil
+}
+
+// eventQueue is a min-heap on (at, seq); seq breaks ties so same-time events
+// fire in scheduling order, which keeps runs deterministic.
+type eventQueue []*Timer
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*Timer)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return t
+}

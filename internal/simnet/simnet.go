@@ -1,0 +1,474 @@
+// Package simnet simulates the nationwide cellular radio environment the
+// paper's fleet measured: three mobile ISPs, a Zipf-skewed population of
+// multi-RAT base stations across region types, a received-signal-strength
+// model, and the relative failure hazards that drive every landscape
+// finding in §3.3 (ISP discrepancy, RAT discrepancy, the level-5 RSS
+// anomaly at transport hubs).
+package simnet
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geo"
+	"repro/internal/rng"
+	"repro/internal/telephony"
+)
+
+// ISPID identifies one of the three studied carriers.
+type ISPID uint8
+
+// The three ISPs of the study. A maps to the largest carrier, B to the one
+// with inferior signal coverage (higher radio frequency), C to the smallest.
+const (
+	ISPA ISPID = iota
+	ISPB
+	ISPC
+
+	NumISPs = 3
+)
+
+func (id ISPID) String() string {
+	switch id {
+	case ISPA:
+		return "ISP-A"
+	case ISPB:
+		return "ISP-B"
+	case ISPC:
+		return "ISP-C"
+	default:
+		return "ISP-?"
+	}
+}
+
+// ISP describes a carrier.
+type ISP struct {
+	ID ISPID
+	// BSShare is the fraction of all BSes (paper: 44.8%, 29.4%, 25.8%).
+	BSShare float64
+	// UserShare is the fraction of devices subscribed to this ISP.
+	UserShare float64
+	// MedianFreqMHz orders the carriers' radio bands (B's > C's > A's);
+	// higher frequency means smaller per-BS coverage.
+	MedianFreqMHz float64
+	// CoverageFactor scales the signal-level distribution; <1 shifts
+	// levels down (ISP-B's inferior coverage).
+	CoverageFactor float64
+	// HazardFactor is the relative failure-rate multiplier for users of
+	// this ISP, calibrated so per-context failure intensity orders
+	// B > A > C.
+	HazardFactor float64
+	// PrevalenceFactor scales a subscriber's probability of experiencing
+	// any failure at all, reproducing Figure 12's per-ISP prevalences
+	// (27.1% B, 20.1% A, 14.7% C against the 23% fleet average).
+	PrevalenceFactor float64
+}
+
+// ISPs returns the three carriers with paper-calibrated parameters.
+func ISPs() [NumISPs]ISP {
+	return [NumISPs]ISP{
+		ISPA: {ID: ISPA, BSShare: 0.448, UserShare: 0.58, MedianFreqMHz: 1900, CoverageFactor: 1.00, HazardFactor: 1.00, PrevalenceFactor: 0.97},
+		ISPB: {ID: ISPB, BSShare: 0.294, UserShare: 0.24, MedianFreqMHz: 2400, CoverageFactor: 0.80, HazardFactor: 1.45, PrevalenceFactor: 1.30},
+		ISPC: {ID: ISPC, BSShare: 0.258, UserShare: 0.18, MedianFreqMHz: 2100, CoverageFactor: 1.08, HazardFactor: 0.70, PrevalenceFactor: 0.71},
+	}
+}
+
+// RATShares is the fraction of BSes supporting each RAT (paper §3.3:
+// 23.4% 2G, 10.2% 3G, 65.2% 4G, 7.3% 5G; multi-RAT BSes overlap).
+var RATShares = map[telephony.RAT]float64{
+	telephony.RAT2G: 0.234,
+	telephony.RAT3G: 0.102,
+	telephony.RAT4G: 0.652,
+	telephony.RAT5G: 0.073,
+}
+
+// ContentionFactor is the per-RAT resource-contention hazard multiplier.
+// 3G is "relatively idle" (not preferred when 4G is available, worse
+// coverage than 2G otherwise) so it sees the lowest failure prevalence;
+// 5G modules are immature and heavily loaded, so they see the highest
+// (Figures 14, 6, 7).
+var ContentionFactor = map[telephony.RAT]float64{
+	telephony.RAT2G: 1.00,
+	telephony.RAT3G: 0.18,
+	telephony.RAT4G: 1.05,
+	telephony.RAT5G: 1.60,
+}
+
+// levelHazard is the relative failure hazard per signal level for BSes
+// outside dense deployments: monotonically decreasing as signal improves
+// (Figure 15, levels 0-4).
+var levelHazard = [telephony.NumSignalLevels]float64{3.2, 2.1, 1.5, 1.1, 0.75, 0.55}
+
+// transitionLevelHazard is the relative failure hazard of a RAT
+// *transition* as a function of the post-transition signal level. It is
+// far more peaked at level-0 than the steady-state hazard: a handover into
+// a target with no usable signal fails outright (Figure 17's dark cells:
+// transitions into level-0 raise the normalized failure prevalence by up
+// to +0.37, while transitions into levels 1-5 barely move it).
+var transitionLevelHazard = [telephony.NumSignalLevels]float64{40, 12, 4, 1.5, 0.8, 0.5}
+
+// TransitionHazard returns the relative failure hazard of camping on the
+// given attachment immediately after a RAT transition. The destination's
+// signal level dominates; the destination RAT's contention scales it
+// (handing into an idle 3G network is far safer than into a loaded 5G
+// cell at the same level).
+func TransitionHazard(att Attachment) float64 {
+	if att.BS == nil || !att.Level.Valid() {
+		return 0
+	}
+	h := transitionLevelHazard[att.Level] * ContentionFactor[att.RAT]
+	if att.BS.Dense {
+		h *= 1.5 // dense-deployment mobility management (EMM) churn
+	}
+	return h
+}
+
+// hubLevel5Hazard is the hazard at excellent RSS on densely deployed
+// transport-hub BSes, where adjacent-channel interference and complex LTE
+// mobility management cause frequent EMM failures despite level-5 signal.
+// It exceeds the level-1..4 hazards, producing the Figure 15 jump.
+const hubLevel5Hazard = 8.0
+
+// BaseStation is one simulated cell site.
+type BaseStation struct {
+	Identity telephony.CellIdentity
+	ISP      ISPID
+	Region   geo.Region
+	// RATs lists supported access technologies (at least one).
+	RATs []telephony.RAT
+	// LoadWeight is the relative attachment popularity; Zipf-distributed
+	// across the deployment so failure counts per BS reproduce Figure 11.
+	LoadWeight float64
+	// Dense marks membership in an uncoordinated dense cluster (hubs).
+	Dense bool
+}
+
+// Supports reports whether the BS offers the given RAT.
+func (b *BaseStation) Supports(rat telephony.RAT) bool {
+	for _, r := range b.RATs {
+		if r == rat {
+			return true
+		}
+	}
+	return false
+}
+
+// BestRAT returns the highest-generation RAT the BS supports.
+func (b *BaseStation) BestRAT() telephony.RAT {
+	best := telephony.RATUnknown
+	for _, r := range b.RATs {
+		if r.Generation() > best.Generation() {
+			best = r
+		}
+	}
+	return best
+}
+
+// DeploymentConfig controls deployment generation.
+type DeploymentConfig struct {
+	// NumBS is the total number of base stations to generate.
+	NumBS int
+	// ZipfSkew is the exponent of the per-BS load weights (paper fit:
+	// a = 0.82 in Figure 11).
+	ZipfSkew float64
+}
+
+// DefaultDeployment returns the configuration used by the standard fleet
+// scenario: numBS stations with the Figure 11 skew.
+func DefaultDeployment(numBS int) DeploymentConfig {
+	return DeploymentConfig{NumBS: numBS, ZipfSkew: 0.82}
+}
+
+// Network is a generated radio environment.
+type Network struct {
+	Stations []*BaseStation
+	isps     [NumISPs]ISP
+
+	// byCell indexes stations by (ISP, region); each entry carries a
+	// categorical sampler over station load weights.
+	byCell map[cellKey]*stationPool
+}
+
+type cellKey struct {
+	isp    ISPID
+	region geo.Region
+}
+
+type stationPool struct {
+	stations []*BaseStation
+	weights  []float64
+}
+
+// Generate builds a deployment. Stations are distributed across ISPs by BS
+// share and across regions by regional BS share; RAT support is sampled to
+// match the paper's marginal shares; load weights follow a Zipf law.
+func Generate(cfg DeploymentConfig, r *rng.Source) (*Network, error) {
+	if cfg.NumBS <= 0 {
+		return nil, fmt.Errorf("simnet: NumBS must be positive, got %d", cfg.NumBS)
+	}
+	if cfg.ZipfSkew <= 0 {
+		cfg.ZipfSkew = 0.82
+	}
+	n := &Network{isps: ISPs(), byCell: make(map[cellKey]*stationPool)}
+
+	ispWeights := make([]float64, NumISPs)
+	for i, isp := range n.isps {
+		ispWeights[i] = isp.BSShare
+	}
+	ispPick := rng.NewCategorical(ispWeights)
+
+	profiles := geo.Profiles()
+	regionWeights := make([]float64, geo.NumRegions)
+	for i, p := range profiles {
+		regionWeights[i] = p.BSShare
+	}
+	regionPick := rng.NewCategorical(regionWeights)
+
+	// Zipf load weights assigned over a random permutation so rank is not
+	// correlated with ISP or region.
+	perm := r.Perm(cfg.NumBS)
+
+	for i := 0; i < cfg.NumBS; i++ {
+		isp := ISPID(ispPick.Draw(r))
+		region := geo.Region(regionPick.Draw(r))
+		bs := &BaseStation{
+			Identity: telephony.CellIdentity{
+				MCC: 460,
+				MNC: uint16(isp),
+				LAC: uint32(1 + i/1024),
+				CID: uint32(1 + i%1024 + (i/1024)<<10),
+			},
+			ISP:        isp,
+			Region:     region,
+			RATs:       sampleRATs(r, region),
+			LoadWeight: math.Pow(float64(perm[i]+1), -cfg.ZipfSkew),
+			Dense:      region.Profile().DenseDeployment,
+		}
+		n.Stations = append(n.Stations, bs)
+		key := cellKey{isp, region}
+		pool := n.byCell[key]
+		if pool == nil {
+			pool = &stationPool{}
+			n.byCell[key] = pool
+		}
+		pool.stations = append(pool.stations, bs)
+		pool.weights = append(pool.weights, bs.LoadWeight)
+	}
+	return n, nil
+}
+
+// ratPrimaryPick draws each BS's guaranteed primary RAT with probabilities
+// proportional to the marginal shares.
+var ratPrimaryPick = func() *rng.Categorical {
+	ws := make([]float64, len(telephony.AllRATs))
+	for i, rat := range telephony.AllRATs {
+		ws[i] = RATShares[rat]
+	}
+	return rng.NewCategorical(ws)
+}()
+
+// sampleRATs draws a BS's supported RAT set. Each BS gets exactly one
+// primary RAT (categorical over the marginal shares) plus independent
+// secondary RATs with probabilities solved so the overall marginals match
+// the paper's 23.4%/10.2%/65.2%/7.3%. 5G rollout concentrates in cities:
+// rural/remote 5G primaries are demoted to 4G and urban/hub BSes add 5G as
+// a secondary more often.
+func sampleRATs(r *rng.Source, region geo.Region) []telephony.RAT {
+	shareSum := 0.0
+	for _, rat := range telephony.AllRATs {
+		shareSum += RATShares[rat]
+	}
+	primary := telephony.AllRATs[ratPrimaryPick.Draw(r)]
+	if primary == telephony.RAT5G && (region == geo.Remote || region == geo.Rural) && r.Bool(0.85) {
+		primary = telephony.RAT4G
+	}
+	rats := []telephony.RAT{primary}
+	for _, rat := range telephony.AllRATs {
+		if rat == primary {
+			continue
+		}
+		prim := RATShares[rat] / shareSum
+		q := (RATShares[rat] - prim) / (1 - prim)
+		if rat == telephony.RAT5G {
+			switch region {
+			case geo.Urban, geo.TransportHub:
+				q *= 4 // cities host the 5G build-out
+			case geo.Rural, geo.Remote:
+				q = 0
+			}
+		}
+		if r.Bool(q) {
+			rats = append(rats, rat)
+		}
+	}
+	return rats
+}
+
+// ISP returns the carrier descriptor.
+func (n *Network) ISP(id ISPID) ISP { return n.isps[id] }
+
+// Attachment describes a device camped on a BS with a specific RAT and
+// signal level.
+type Attachment struct {
+	BS    *BaseStation
+	RAT   telephony.RAT
+	Level telephony.SignalLevel
+}
+
+// Attach selects a base station for a device of the given ISP in the given
+// region (weighted by BS load) and samples its signal level. wantRAT is the
+// RAT the device's selection policy requested; if the chosen BS does not
+// support it, the best supported RAT is used instead, mirroring a fallback
+// camp.
+func (n *Network) Attach(r *rng.Source, isp ISPID, region geo.Region, wantRAT telephony.RAT) (Attachment, error) {
+	pool := n.byCell[cellKey{isp, region}]
+	if pool == nil || len(pool.stations) == 0 {
+		// Sparse deployments may lack a region; fall back to any region
+		// for this ISP.
+		for reg := geo.Region(0); reg < geo.NumRegions; reg++ {
+			if p := n.byCell[cellKey{isp, reg}]; p != nil && len(p.stations) > 0 {
+				pool = p
+				break
+			}
+		}
+		if pool == nil {
+			return Attachment{}, fmt.Errorf("simnet: no stations for %v", isp)
+		}
+	}
+	bs := pool.pick(r)
+	rat := wantRAT
+	if !bs.Supports(rat) {
+		rat = bs.BestRAT()
+	}
+	level := n.SampleLevel(r, bs, rat)
+	return Attachment{BS: bs, RAT: rat, Level: level}, nil
+}
+
+// pick draws a station proportionally to load weight. Linear scan over the
+// cumulative weights is avoided by sampling against the total; pools are
+// per-(ISP, region) so they stay small relative to the full deployment.
+func (p *stationPool) pick(r *rng.Source) *BaseStation {
+	total := 0.0
+	for _, w := range p.weights {
+		total += w
+	}
+	u := r.Float64() * total
+	acc := 0.0
+	for i, w := range p.weights {
+		acc += w
+		if u < acc {
+			return p.stations[i]
+		}
+	}
+	return p.stations[len(p.stations)-1]
+}
+
+// baseLevelWeights is the signal-level distribution by region before ISP
+// coverage adjustment. Transport hubs overwhelmingly deliver excellent RSS.
+var baseLevelWeights = map[geo.Region][telephony.NumSignalLevels]float64{
+	geo.Urban:        {0.02, 0.08, 0.16, 0.33, 0.35, 0.06},
+	geo.Suburban:     {0.04, 0.12, 0.22, 0.33, 0.26, 0.03},
+	geo.Rural:        {0.10, 0.22, 0.28, 0.25, 0.14, 0.01},
+	geo.Remote:       {0.30, 0.30, 0.20, 0.13, 0.065, 0.005},
+	geo.TransportHub: {0.01, 0.02, 0.05, 0.12, 0.20, 0.60},
+}
+
+// SampleLevel draws a signal level for a device camped on bs with rat.
+// ISP coverage (B inferior) shifts the distribution down, as does 3G's
+// poor coverage and 5G's shorter range.
+func (n *Network) SampleLevel(r *rng.Source, bs *BaseStation, rat telephony.RAT) telephony.SignalLevel {
+	weights := baseLevelWeights[bs.Region]
+	cov := n.isps[bs.ISP].CoverageFactor
+	switch rat {
+	case telephony.RAT3G:
+		cov *= 0.80 // 3G coverage much worse than 2G when 4G unavailable
+	case telephony.RAT5G:
+		cov *= 0.60 // mmWave/sub-6 far shorter range than LTE; weak 5G is common
+	case telephony.RAT2G:
+		cov *= 1.10
+	}
+	// Shift probability mass toward lower levels when coverage < 1 by
+	// exponential tilting: w'_l = w_l * cov^l.
+	var tilted [telephony.NumSignalLevels]float64
+	total := 0.0
+	for l := 0; l < telephony.NumSignalLevels; l++ {
+		tilted[l] = weights[l] * math.Pow(cov, float64(l))
+		total += tilted[l]
+	}
+	u := r.Float64() * total
+	acc := 0.0
+	for l := 0; l < telephony.NumSignalLevels; l++ {
+		acc += tilted[l]
+		if u < acc {
+			return telephony.SignalLevel(l)
+		}
+	}
+	return telephony.Level5
+}
+
+// Hazard returns the relative failure-rate multiplier for a device of the
+// given ISP camped as att. It composes the ISP factor, RAT contention,
+// signal-level hazard (with the dense-deployment level-5 anomaly), and
+// regional interference.
+func (n *Network) Hazard(isp ISPID, att Attachment) float64 {
+	if att.BS == nil {
+		return 0
+	}
+	lh := levelHazard[att.Level]
+	if att.BS.Dense && att.Level == telephony.Level5 {
+		lh = hubLevel5Hazard
+	}
+	h := n.isps[isp].HazardFactor * ContentionFactor[att.RAT] * lh
+	h *= math.Sqrt(att.BS.Region.Profile().InterferenceFactor)
+	return h
+}
+
+// LevelHazard exposes the calibrated per-level hazard used by Hazard for a
+// non-dense BS; the RAT-transition analysis (Figure 17) normalizes against
+// it.
+func LevelHazard(l telephony.SignalLevel) float64 {
+	if !l.Valid() {
+		return 0
+	}
+	return levelHazard[l]
+}
+
+// HubLevel5Hazard exposes the dense-deployment level-5 hazard.
+func HubLevel5Hazard() float64 { return hubLevel5Hazard }
+
+var setupCauses, setupCausePick = func() ([]telephony.FailCause, *rng.Categorical) {
+	causes, weights := telephony.GeneratorWeights()
+	return causes, rng.NewCategorical(weights)
+}()
+
+// SampleSetupCause draws a Data_Setup_Error fail cause for the attachment
+// context. Dense transport-hub failures skew heavily toward EMM mobility
+// management causes (EMM_ACCESS_BARRED, INVALID_EMM_STATE), reproducing the
+// paper's root-cause finding for the level-5 anomaly.
+func SampleSetupCause(r *rng.Source, att Attachment) telephony.FailCause {
+	if att.BS != nil && att.BS.Dense && r.Bool(0.55) {
+		if r.Bool(0.5) {
+			return telephony.CauseEMMAccessBarred
+		}
+		return telephony.CauseInvalidEMMState
+	}
+	return setupCauses[setupCausePick.Draw(r)]
+}
+
+// FromStations rebuilds a Network around an existing census (e.g. loaded
+// from a saved dataset), reconstructing the per-(ISP, region) pools.
+func FromStations(stations []*BaseStation) *Network {
+	n := &Network{isps: ISPs(), byCell: make(map[cellKey]*stationPool)}
+	for _, bs := range stations {
+		n.Stations = append(n.Stations, bs)
+		key := cellKey{bs.ISP, bs.Region}
+		pool := n.byCell[key]
+		if pool == nil {
+			pool = &stationPool{}
+			n.byCell[key] = pool
+		}
+		pool.stations = append(pool.stations, bs)
+		pool.weights = append(pool.weights, bs.LoadWeight)
+	}
+	return n
+}

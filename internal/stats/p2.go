@@ -1,0 +1,151 @@
+package stats
+
+import (
+	"errors"
+	"sort"
+)
+
+// P2 is the Jain/Chlamtac P² streaming quantile estimator: it tracks one
+// quantile of an unbounded stream with five markers and O(1) memory. The
+// paper's backend ingests billions of failure durations; quantile sketches
+// let per-model/per-ISP percentiles be tracked without retaining samples.
+type P2 struct {
+	q       float64
+	n       int
+	heights [5]float64
+	pos     [5]float64 // actual marker positions (1-based)
+	want    [5]float64 // desired marker positions
+	inc     [5]float64 // desired-position increments
+	initBuf []float64
+}
+
+// NewP2 creates an estimator for quantile q in (0, 1).
+func NewP2(q float64) (*P2, error) {
+	if q <= 0 || q >= 1 {
+		return nil, errors.New("stats: quantile must be in (0, 1)")
+	}
+	p := &P2{q: q}
+	p.want = [5]float64{1, 1 + 2*q, 1 + 4*q, 3 + 2*q, 5}
+	p.inc = [5]float64{0, q / 2, q, (1 + q) / 2, 1}
+	return p, nil
+}
+
+// Add feeds one observation.
+func (p *P2) Add(x float64) {
+	p.n++
+	if p.n <= 5 {
+		p.initBuf = append(p.initBuf, x)
+		if p.n == 5 {
+			sort.Float64s(p.initBuf)
+			copy(p.heights[:], p.initBuf)
+			p.pos = [5]float64{1, 2, 3, 4, 5}
+			p.initBuf = nil
+		}
+		return
+	}
+
+	// Find the cell k containing x and clamp the extremes.
+	var k int
+	switch {
+	case x < p.heights[0]:
+		p.heights[0] = x
+		k = 0
+	case x >= p.heights[4]:
+		p.heights[4] = x
+		k = 3
+	default:
+		for k = 0; k < 4; k++ {
+			if x < p.heights[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		p.pos[i]++
+	}
+	for i := 0; i < 5; i++ {
+		p.want[i] += p.inc[i]
+	}
+
+	// Adjust interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := p.want[i] - p.pos[i]
+		if (d >= 1 && p.pos[i+1]-p.pos[i] > 1) || (d <= -1 && p.pos[i-1]-p.pos[i] < -1) {
+			s := 1.0
+			if d < 0 {
+				s = -1.0
+			}
+			h := p.parabolic(i, s)
+			if p.heights[i-1] < h && h < p.heights[i+1] {
+				p.heights[i] = h
+			} else {
+				p.heights[i] = p.linear(i, s)
+			}
+			p.pos[i] += s
+		}
+	}
+}
+
+// parabolic is the P² piecewise-parabolic prediction.
+func (p *P2) parabolic(i int, s float64) float64 {
+	return p.heights[i] + s/(p.pos[i+1]-p.pos[i-1])*
+		((p.pos[i]-p.pos[i-1]+s)*(p.heights[i+1]-p.heights[i])/(p.pos[i+1]-p.pos[i])+
+			(p.pos[i+1]-p.pos[i]-s)*(p.heights[i]-p.heights[i-1])/(p.pos[i]-p.pos[i-1]))
+}
+
+func (p *P2) linear(i int, s float64) float64 {
+	j := i + int(s)
+	return p.heights[i] + s*(p.heights[j]-p.heights[i])/(p.pos[j]-p.pos[i])
+}
+
+// N returns the number of observations.
+func (p *P2) N() int { return p.n }
+
+// Quantile returns the current estimate. With fewer than five samples it
+// falls back to the exact small-sample quantile.
+func (p *P2) Quantile() float64 {
+	if p.n == 0 {
+		return 0
+	}
+	if p.n < 5 {
+		buf := append([]float64(nil), p.initBuf...)
+		sort.Float64s(buf)
+		return quantileSorted(buf, p.q)
+	}
+	return p.heights[2]
+}
+
+// QuantileSet tracks several quantiles of one stream.
+type QuantileSet struct {
+	qs       []float64
+	trackers []*P2
+}
+
+// NewQuantileSet builds trackers for each quantile.
+func NewQuantileSet(qs ...float64) (*QuantileSet, error) {
+	s := &QuantileSet{qs: qs}
+	for _, q := range qs {
+		t, err := NewP2(q)
+		if err != nil {
+			return nil, err
+		}
+		s.trackers = append(s.trackers, t)
+	}
+	return s, nil
+}
+
+// Add feeds one observation to all trackers.
+func (s *QuantileSet) Add(x float64) {
+	for _, t := range s.trackers {
+		t.Add(x)
+	}
+}
+
+// Quantiles returns the current estimates in input order.
+func (s *QuantileSet) Quantiles() []float64 {
+	out := make([]float64, len(s.trackers))
+	for i, t := range s.trackers {
+		out[i] = t.Quantile()
+	}
+	return out
+}

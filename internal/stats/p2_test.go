@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestP2AgainstExactQuantiles(t *testing.T) {
+	r := rng.New(1)
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		p2, err := NewP2(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var xs []float64
+		for i := 0; i < 50000; i++ {
+			x := r.LogNormal(2, 1.2)
+			xs = append(xs, x)
+			p2.Add(x)
+		}
+		exact := NewECDF(xs).Quantile(q)
+		got := p2.Quantile()
+		if rel := math.Abs(got-exact) / exact; rel > 0.05 {
+			t.Errorf("q=%v: P2=%v exact=%v (rel err %.3f)", q, got, exact, rel)
+		}
+	}
+}
+
+func TestP2UniformMedian(t *testing.T) {
+	r := rng.New(2)
+	p2, _ := NewP2(0.5)
+	for i := 0; i < 100000; i++ {
+		p2.Add(r.Float64() * 100)
+	}
+	if got := p2.Quantile(); math.Abs(got-50) > 1.5 {
+		t.Errorf("uniform median = %v, want ≈50", got)
+	}
+	if p2.N() != 100000 {
+		t.Errorf("N = %d", p2.N())
+	}
+}
+
+func TestP2SmallSamples(t *testing.T) {
+	p2, _ := NewP2(0.5)
+	if p2.Quantile() != 0 {
+		t.Error("empty estimator should return 0")
+	}
+	p2.Add(3)
+	p2.Add(1)
+	p2.Add(2)
+	if got := p2.Quantile(); got != 2 {
+		t.Errorf("small-sample median = %v, want 2", got)
+	}
+}
+
+func TestP2SortedAndReversedInput(t *testing.T) {
+	// Adversarial orderings must not break the markers.
+	for _, dir := range []int{1, -1} {
+		p2, _ := NewP2(0.5)
+		n := 10001
+		for i := 0; i < n; i++ {
+			v := i
+			if dir < 0 {
+				v = n - i
+			}
+			p2.Add(float64(v))
+		}
+		got := p2.Quantile()
+		if math.Abs(got-float64(n)/2) > float64(n)/20 {
+			t.Errorf("dir %d median = %v, want ≈%v", dir, got, n/2)
+		}
+	}
+}
+
+func TestP2InvalidQuantile(t *testing.T) {
+	for _, q := range []float64{0, 1, -0.5, 2} {
+		if _, err := NewP2(q); err == nil {
+			t.Errorf("q=%v accepted", q)
+		}
+	}
+}
+
+func TestQuantileSet(t *testing.T) {
+	s, err := NewQuantileSet(0.25, 0.5, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(3)
+	for i := 0; i < 40000; i++ {
+		s.Add(r.Float64() * 100)
+	}
+	qs := s.Quantiles()
+	want := []float64{25, 50, 75}
+	for i, w := range want {
+		if math.Abs(qs[i]-w) > 2 {
+			t.Errorf("quantile %d = %v, want ≈%v", i, qs[i], w)
+		}
+	}
+	// Estimates must be ordered.
+	if !(qs[0] < qs[1] && qs[1] < qs[2]) {
+		t.Errorf("quantiles not ordered: %v", qs)
+	}
+	if _, err := NewQuantileSet(0.5, 2); err == nil {
+		t.Error("invalid quantile in set accepted")
+	}
+}
+
+func TestP2ConstantStream(t *testing.T) {
+	p2, _ := NewP2(0.9)
+	for i := 0; i < 1000; i++ {
+		p2.Add(7)
+	}
+	if got := p2.Quantile(); got != 7 {
+		t.Errorf("constant stream quantile = %v, want 7", got)
+	}
+}

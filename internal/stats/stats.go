@@ -1,0 +1,367 @@
+// Package stats implements the statistical primitives the analysis pipeline
+// needs: empirical CDFs, histograms, quantiles, correlation, and Zipf-law
+// fitting (the paper fits failures-per-base-station to a Zipf curve with
+// a = 0.82, b = 17.12 in Figure 11).
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrNoData is returned by operations that need at least one sample.
+var ErrNoData = errors.New("stats: no data")
+
+// Summary holds basic descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Stddev float64
+	Min    float64
+	Max    float64
+	Median float64
+	Sum    float64
+}
+
+// Summarize computes descriptive statistics. It returns ErrNoData for an
+// empty sample.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrNoData
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	for _, x := range xs {
+		s.Sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = s.Sum / float64(s.N)
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if s.N > 1 {
+		s.Stddev = math.Sqrt(ss / float64(s.N-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Median = quantileSorted(sorted, 0.5)
+	return s, nil
+}
+
+// ECDF is an empirical cumulative distribution function over a sample.
+// The zero value is empty; Add then Finalize, or build with NewECDF.
+type ECDF struct {
+	xs        []float64
+	finalized bool
+}
+
+// NewECDF builds a finalized ECDF from a sample (which it copies).
+func NewECDF(xs []float64) *ECDF {
+	e := &ECDF{xs: append([]float64(nil), xs...)}
+	e.Finalize()
+	return e
+}
+
+// Add appends a sample point. Calling Add after Finalize un-finalizes.
+func (e *ECDF) Add(x float64) {
+	e.xs = append(e.xs, x)
+	e.finalized = false
+}
+
+// Finalize sorts the sample; it is idempotent.
+func (e *ECDF) Finalize() {
+	if !e.finalized {
+		sort.Float64s(e.xs)
+		e.finalized = true
+	}
+}
+
+// N returns the sample size.
+func (e *ECDF) N() int { return len(e.xs) }
+
+// P returns the fraction of samples <= x (the CDF value at x).
+func (e *ECDF) P(x float64) float64 {
+	e.Finalize()
+	if len(e.xs) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(e.xs, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(e.xs))
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) with linear
+// interpolation between order statistics.
+func (e *ECDF) Quantile(q float64) float64 {
+	e.Finalize()
+	return quantileSorted(e.xs, q)
+}
+
+// Mean returns the sample mean (0 for an empty sample).
+func (e *ECDF) Mean() float64 {
+	if len(e.xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range e.xs {
+		sum += x
+	}
+	return sum / float64(len(e.xs))
+}
+
+// Max returns the sample maximum (0 for an empty sample).
+func (e *ECDF) Max() float64 {
+	e.Finalize()
+	if len(e.xs) == 0 {
+		return 0
+	}
+	return e.xs[len(e.xs)-1]
+}
+
+// Min returns the sample minimum (0 for an empty sample).
+func (e *ECDF) Min() float64 {
+	e.Finalize()
+	if len(e.xs) == 0 {
+		return 0
+	}
+	return e.xs[0]
+}
+
+// Points returns up to n evenly spaced (x, P(X<=x)) points for plotting.
+func (e *ECDF) Points(n int) [][2]float64 {
+	e.Finalize()
+	if len(e.xs) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(e.xs) {
+		n = len(e.xs)
+	}
+	pts := make([][2]float64, 0, n)
+	for i := 0; i < n; i++ {
+		idx := i * (len(e.xs) - 1) / max(n-1, 1)
+		pts = append(pts, [2]float64{e.xs[idx], float64(idx+1) / float64(len(e.xs))})
+	}
+	return pts
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Histogram counts samples into equal-width bins over [lo, hi).
+type Histogram struct {
+	Lo, Hi   float64
+	Counts   []uint64
+	Under    uint64 // samples below Lo
+	Over     uint64 // samples at or above Hi
+	binWidth float64
+}
+
+// NewHistogram creates a histogram with bins equal-width bins over [lo, hi).
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 || hi <= lo {
+		panic("stats: invalid histogram bounds")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]uint64, bins), binWidth: (hi - lo) / float64(bins)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int((x - h.Lo) / h.binWidth)
+		if i >= len(h.Counts) { // guard against float rounding at the edge
+			i = len(h.Counts) - 1
+		}
+		h.Counts[i]++
+	}
+}
+
+// Total returns the number of samples recorded, including out-of-range ones.
+func (h *Histogram) Total() uint64 {
+	t := h.Under + h.Over
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	return h.Lo + (float64(i)+0.5)*h.binWidth
+}
+
+// Pearson returns the Pearson correlation coefficient of two equal-length
+// samples. It returns 0 if either sample has zero variance.
+func Pearson(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, errors.New("stats: length mismatch")
+	}
+	if len(xs) < 2 {
+		return 0, ErrNoData
+	}
+	n := float64(len(xs))
+	var mx, my float64
+	for i := range xs {
+		mx += xs[i]
+		my += ys[i]
+	}
+	mx /= n
+	my /= n
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, nil
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// ZipfFit holds fitted Zipf-law parameters for counts y(r) ≈ e^b · r^(-a)
+// over ranks r = 1..n, i.e. ln y = b − a·ln r, matching Figure 11's (a, b).
+type ZipfFit struct {
+	A  float64 // slope magnitude (skew)
+	B  float64 // intercept in log space
+	R2 float64 // coefficient of determination in log-log space
+}
+
+// FitZipf fits a Zipf law to counts already sorted in descending order.
+// Zero counts are excluded (log undefined). Needs at least two positive
+// counts.
+func FitZipf(sortedCounts []uint64) (ZipfFit, error) {
+	var lx, ly []float64
+	for i, c := range sortedCounts {
+		if c == 0 {
+			continue
+		}
+		lx = append(lx, math.Log(float64(i+1)))
+		ly = append(ly, math.Log(float64(c)))
+	}
+	if len(lx) < 2 {
+		return ZipfFit{}, ErrNoData
+	}
+	slope, intercept, r2 := linearRegression(lx, ly)
+	return ZipfFit{A: -slope, B: intercept, R2: r2}, nil
+}
+
+// linearRegression returns least-squares slope, intercept and R² for y on x.
+func linearRegression(xs, ys []float64) (slope, intercept, r2 float64) {
+	n := float64(len(xs))
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return 0, my, 0
+	}
+	slope = sxy / sxx
+	intercept = my - slope*mx
+	if syy == 0 {
+		return slope, intercept, 1
+	}
+	r2 = sxy * sxy / (sxx * syy)
+	return slope, intercept, r2
+}
+
+// WeightedMean returns the mean of xs weighted by ws.
+func WeightedMean(xs, ws []float64) (float64, error) {
+	if len(xs) != len(ws) {
+		return 0, errors.New("stats: length mismatch")
+	}
+	var sum, wsum float64
+	for i := range xs {
+		sum += xs[i] * ws[i]
+		wsum += ws[i]
+	}
+	if wsum == 0 {
+		return 0, ErrNoData
+	}
+	return sum / wsum, nil
+}
+
+// RelativeChange returns (after-before)/before, the metric used throughout
+// §4.3 ("reduced 40% cellular failures"). A negative result is a reduction.
+func RelativeChange(before, after float64) float64 {
+	if before == 0 {
+		return 0
+	}
+	return (after - before) / before
+}
+
+// WinsorizedMean returns the mean with values above the q-quantile clipped
+// to it. Simulation-scale fleets cannot average away a 25-hour outage tail
+// the way 2.3 billion events can; comparisons of means across runs use a
+// winsorized estimator to keep the tail from drowning the effect.
+func WinsorizedMean(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrNoData
+	}
+	cap := NewECDF(xs).Quantile(q)
+	sum := 0.0
+	for _, x := range xs {
+		if x > cap {
+			x = cap
+		}
+		sum += x
+	}
+	return sum / float64(len(xs)), nil
+}
+
+// KolmogorovSmirnov returns the KS statistic (the maximum CDF distance)
+// between two samples — how far apart two measured distributions are,
+// used to quantify figure-level agreement between runs.
+func KolmogorovSmirnov(a, b []float64) (float64, error) {
+	if len(a) == 0 || len(b) == 0 {
+		return 0, ErrNoData
+	}
+	ea, eb := NewECDF(a), NewECDF(b)
+	maxD := 0.0
+	for _, xs := range [][]float64{a, b} {
+		for _, x := range xs {
+			d := math.Abs(ea.P(x) - eb.P(x))
+			if d > maxD {
+				maxD = d
+			}
+		}
+	}
+	return maxD, nil
+}

@@ -1,0 +1,353 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 || s.Sum != 15 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if !almostEqual(s.Stddev, math.Sqrt(2.5), 1e-12) {
+		t.Errorf("Stddev = %v, want sqrt(2.5)", s.Stddev)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if _, err := Summarize(nil); err != ErrNoData {
+		t.Errorf("err = %v, want ErrNoData", err)
+	}
+}
+
+func TestECDFBasics(t *testing.T) {
+	e := NewECDF([]float64{10, 20, 30, 40})
+	cases := []struct{ x, want float64 }{
+		{5, 0}, {10, 0.25}, {15, 0.25}, {20, 0.5}, {40, 1}, {100, 1},
+	}
+	for _, c := range cases {
+		if got := e.P(c.x); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("P(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if e.Min() != 10 || e.Max() != 40 {
+		t.Errorf("Min/Max = %v/%v", e.Min(), e.Max())
+	}
+	if !almostEqual(e.Mean(), 25, 1e-12) {
+		t.Errorf("Mean = %v, want 25", e.Mean())
+	}
+}
+
+func TestECDFQuantile(t *testing.T) {
+	e := NewECDF([]float64{0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100})
+	if got := e.Quantile(0.5); !almostEqual(got, 50, 1e-9) {
+		t.Errorf("Quantile(0.5) = %v, want 50", got)
+	}
+	if got := e.Quantile(0); got != 0 {
+		t.Errorf("Quantile(0) = %v, want 0", got)
+	}
+	if got := e.Quantile(1); got != 100 {
+		t.Errorf("Quantile(1) = %v, want 100", got)
+	}
+	if got := e.Quantile(0.25); !almostEqual(got, 25, 1e-9) {
+		t.Errorf("Quantile(0.25) = %v, want 25", got)
+	}
+}
+
+func TestECDFIncrementalAdd(t *testing.T) {
+	var e ECDF
+	for _, x := range []float64{3, 1, 2} {
+		e.Add(x)
+	}
+	if got := e.P(2); !almostEqual(got, 2.0/3, 1e-12) {
+		t.Errorf("P(2) = %v, want 2/3", got)
+	}
+	e.Add(0) // un-finalizes and re-sorts on next query
+	if got := e.P(0); !almostEqual(got, 0.25, 1e-12) {
+		t.Errorf("P(0) after Add = %v, want 0.25", got)
+	}
+}
+
+func TestECDFEmpty(t *testing.T) {
+	var e ECDF
+	if e.P(5) != 0 || e.Mean() != 0 || e.Max() != 0 || e.Min() != 0 || e.N() != 0 {
+		t.Error("empty ECDF should return zeros")
+	}
+	if pts := e.Points(10); pts != nil {
+		t.Error("empty ECDF Points should be nil")
+	}
+}
+
+func TestECDFPointsMonotone(t *testing.T) {
+	r := rng.New(1)
+	var xs []float64
+	for i := 0; i < 500; i++ {
+		xs = append(xs, r.LogNormal(2, 1))
+	}
+	e := NewECDF(xs)
+	pts := e.Points(50)
+	if len(pts) != 50 {
+		t.Fatalf("Points returned %d, want 50", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i][0] < pts[i-1][0] || pts[i][1] < pts[i-1][1] {
+			t.Fatalf("Points not monotone at %d: %v -> %v", i, pts[i-1], pts[i])
+		}
+	}
+	if !almostEqual(pts[len(pts)-1][1], 1, 1e-9) {
+		t.Errorf("last point P = %v, want 1", pts[len(pts)-1][1])
+	}
+}
+
+// Property: P is monotone non-decreasing and bounded in [0,1].
+func TestECDFMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, a, b float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		e := NewECDF(xs)
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		pl, ph := e.P(lo), e.P(hi)
+		return pl >= 0 && ph <= 1 && pl <= ph
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Quantile and P are approximately inverse.
+func TestQuantileInverseProperty(t *testing.T) {
+	r := rng.New(9)
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = r.Float64() * 100
+	}
+	e := NewECDF(xs)
+	for q := 0.05; q < 1; q += 0.05 {
+		x := e.Quantile(q)
+		p := e.P(x)
+		if p < q-0.01 {
+			t.Errorf("P(Quantile(%v)) = %v, want >= %v", q, p, q)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 100, 10)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i))
+	}
+	h.Add(-5)
+	h.Add(100)
+	h.Add(1e9)
+	for i, c := range h.Counts {
+		if c != 10 {
+			t.Errorf("bin %d count = %d, want 10", i, c)
+		}
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Errorf("Under/Over = %d/%d, want 1/2", h.Under, h.Over)
+	}
+	if h.Total() != 103 {
+		t.Errorf("Total = %d, want 103", h.Total())
+	}
+	if !almostEqual(h.BinCenter(0), 5, 1e-12) {
+		t.Errorf("BinCenter(0) = %v, want 5", h.BinCenter(0))
+	}
+}
+
+func TestHistogramEdgeRounding(t *testing.T) {
+	h := NewHistogram(0, 0.3, 3)
+	h.Add(math.Nextafter(0.3, 0)) // just below the upper bound
+	sum := uint64(0)
+	for _, c := range h.Counts {
+		sum += c
+	}
+	if sum != 1 || h.Over != 0 {
+		t.Errorf("edge sample landed wrong: counts=%v over=%d", h.Counts, h.Over)
+	}
+}
+
+func TestHistogramInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid bounds did not panic")
+		}
+	}()
+	NewHistogram(10, 5, 3)
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	r, err := Pearson(xs, ys)
+	if err != nil || !almostEqual(r, 1, 1e-12) {
+		t.Errorf("Pearson perfect positive = %v, %v", r, err)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	r, _ = Pearson(xs, neg)
+	if !almostEqual(r, -1, 1e-12) {
+		t.Errorf("Pearson perfect negative = %v", r)
+	}
+	flat := []float64{3, 3, 3, 3, 3}
+	r, err = Pearson(xs, flat)
+	if err != nil || r != 0 {
+		t.Errorf("Pearson zero-variance = %v, %v; want 0, nil", r, err)
+	}
+	if _, err := Pearson(xs, []float64{1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestFitZipfRecoversParameters(t *testing.T) {
+	// Generate exact counts y = e^b * r^-a and check recovery.
+	a, b := 0.82, 17.12
+	counts := make([]uint64, 5000)
+	for r := 1; r <= len(counts); r++ {
+		counts[r-1] = uint64(math.Exp(b) * math.Pow(float64(r), -a))
+	}
+	fit, err := FitZipf(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.A, a, 0.03) || !almostEqual(fit.B, b, 0.2) {
+		t.Errorf("FitZipf = a %.3f b %.3f, want ~%.2f ~%.2f", fit.A, fit.B, a, b)
+	}
+	if fit.R2 < 0.99 {
+		t.Errorf("R2 = %v, want near 1 on exact data", fit.R2)
+	}
+}
+
+func TestFitZipfSkipsZeros(t *testing.T) {
+	counts := []uint64{100, 50, 0, 25, 0}
+	if _, err := FitZipf(counts); err != nil {
+		t.Fatalf("FitZipf with zeros errored: %v", err)
+	}
+	if _, err := FitZipf([]uint64{5}); err != ErrNoData {
+		t.Errorf("single point should be ErrNoData, got %v", err)
+	}
+	if _, err := FitZipf([]uint64{0, 0}); err != ErrNoData {
+		t.Errorf("all zeros should be ErrNoData, got %v", err)
+	}
+}
+
+func TestFitZipfOnSampledData(t *testing.T) {
+	r := rng.New(42)
+	z := r.Zipf(1.8, 2000)
+	counts := make([]uint64, 2000)
+	for i := 0; i < 2_000_00; i++ {
+		counts[z.Rank()]++
+	}
+	sort.Slice(counts, func(i, j int) bool { return counts[i] > counts[j] })
+	fit, err := FitZipf(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.A <= 0 {
+		t.Errorf("fitted skew should be positive, got %v", fit.A)
+	}
+}
+
+func TestWeightedMean(t *testing.T) {
+	got, err := WeightedMean([]float64{1, 10}, []float64{9, 1})
+	if err != nil || !almostEqual(got, 1.9, 1e-12) {
+		t.Errorf("WeightedMean = %v, %v; want 1.9", got, err)
+	}
+	if _, err := WeightedMean([]float64{1}, []float64{0}); err != ErrNoData {
+		t.Errorf("zero weights should be ErrNoData, got %v", err)
+	}
+	if _, err := WeightedMean([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestRelativeChange(t *testing.T) {
+	if got := RelativeChange(100, 60); !almostEqual(got, -0.4, 1e-12) {
+		t.Errorf("RelativeChange(100,60) = %v, want -0.4", got)
+	}
+	if got := RelativeChange(0, 60); got != 0 {
+		t.Errorf("RelativeChange(0,60) = %v, want 0", got)
+	}
+}
+
+func TestQuantileSortedSinglePoint(t *testing.T) {
+	e := NewECDF([]float64{7})
+	for _, q := range []float64{0, 0.3, 0.5, 1} {
+		if got := e.Quantile(q); got != 7 {
+			t.Errorf("Quantile(%v) = %v, want 7", q, got)
+		}
+	}
+}
+
+func TestWinsorizedMean(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 100000}
+	raw, _ := Summarize(xs)
+	win, err := WinsorizedMean(xs, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if win >= raw.Mean/100 {
+		t.Errorf("winsorized mean %v should clip the outlier (raw %v)", win, raw.Mean)
+	}
+	if win < 2 || win > 4 {
+		t.Errorf("winsorized mean %v out of plausible range", win)
+	}
+	if _, err := WinsorizedMean(nil, 0.9); err != ErrNoData {
+		t.Errorf("err = %v", err)
+	}
+	// q=1 leaves the sample untouched.
+	full, _ := WinsorizedMean(xs, 1)
+	if math.Abs(full-raw.Mean) > 1e-9 {
+		t.Errorf("q=1 winsorized mean %v != raw %v", full, raw.Mean)
+	}
+}
+
+func TestKolmogorovSmirnov(t *testing.T) {
+	r := rng.New(21)
+	var a, b, c []float64
+	for i := 0; i < 5000; i++ {
+		a = append(a, r.Normal(0, 1))
+		b = append(b, r.Normal(0, 1))
+		c = append(c, r.Normal(3, 1))
+	}
+	same, err := KolmogorovSmirnov(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same > 0.05 {
+		t.Errorf("KS of identical distributions = %v", same)
+	}
+	diff, _ := KolmogorovSmirnov(a, c)
+	if diff < 0.8 {
+		t.Errorf("KS of shifted distributions = %v, want near 1", diff)
+	}
+	if _, err := KolmogorovSmirnov(nil, a); err != ErrNoData {
+		t.Errorf("err = %v", err)
+	}
+	// Identical samples: KS exactly 0.
+	if d, _ := KolmogorovSmirnov(a, a); d != 0 {
+		t.Errorf("KS(a,a) = %v", d)
+	}
+}

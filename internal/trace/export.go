@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/failure"
+)
+
+// csvHeader is the column layout of WriteCSV.
+var csvHeader = []string{
+	"device_id", "model_id", "android", "five_g", "kind", "isp",
+	"cell", "region", "dense_bs", "rat", "level", "cause",
+	"start_s", "duration_s", "resolved_by", "ops_executed", "auto_fix_s",
+	"trans_from_rat", "trans_from_level", "trans_to_rat", "trans_to_level",
+}
+
+// WriteCSV exports the dataset for external plotting tools. One row per
+// event; transition columns are empty for non-transition failures.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	var werr error
+	d.Each(func(e *failure.Event) {
+		if werr != nil {
+			return
+		}
+		row := []string{
+			strconv.FormatUint(e.DeviceID, 10),
+			strconv.Itoa(e.ModelID),
+			strconv.Itoa(e.AndroidVersion),
+			strconv.FormatBool(e.FiveGCapable),
+			e.Kind.String(),
+			e.ISP.String(),
+			e.Cell.String(),
+			e.Region.String(),
+			strconv.FormatBool(e.DenseBS),
+			e.RAT.String(),
+			strconv.Itoa(int(e.Level)),
+			e.Cause.String(),
+			fmt.Sprintf("%.3f", e.Start.Seconds()),
+			fmt.Sprintf("%.3f", e.Duration.Seconds()),
+			e.ResolvedBy.String(),
+			strconv.Itoa(e.OpsExecuted),
+			fmt.Sprintf("%.3f", e.AutoFixTime.Seconds()),
+			"", "", "", "",
+		}
+		if tr := e.Transition; tr != nil {
+			row[17] = tr.FromRAT.String()
+			row[18] = strconv.Itoa(int(tr.FromLevel))
+			row[19] = tr.ToRAT.String()
+			row[20] = strconv.Itoa(int(tr.ToLevel))
+		}
+		werr = cw.Write(row)
+	})
+	if werr != nil {
+		return werr
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// jsonEvent is the JSONL export shape with stable, snake_case field names.
+type jsonEvent struct {
+	DeviceID   uint64  `json:"device_id"`
+	ModelID    int     `json:"model_id"`
+	Android    int     `json:"android"`
+	FiveG      bool    `json:"five_g"`
+	Kind       string  `json:"kind"`
+	ISP        string  `json:"isp"`
+	Cell       string  `json:"cell"`
+	Region     string  `json:"region"`
+	DenseBS    bool    `json:"dense_bs"`
+	RAT        string  `json:"rat"`
+	Level      int     `json:"level"`
+	Cause      string  `json:"cause"`
+	StartS     float64 `json:"start_s"`
+	DurationS  float64 `json:"duration_s"`
+	ResolvedBy string  `json:"resolved_by,omitempty"`
+	Ops        int     `json:"ops_executed,omitempty"`
+	AutoFixS   float64 `json:"auto_fix_s,omitempty"`
+	Transition *struct {
+		FromRAT   string `json:"from_rat"`
+		FromLevel int    `json:"from_level"`
+		ToRAT     string `json:"to_rat"`
+		ToLevel   int    `json:"to_level"`
+	} `json:"transition,omitempty"`
+}
+
+// WriteJSONL exports the dataset as JSON Lines.
+func (d *Dataset) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	var werr error
+	d.Each(func(e *failure.Event) {
+		if werr != nil {
+			return
+		}
+		je := jsonEvent{
+			DeviceID: e.DeviceID, ModelID: e.ModelID, Android: e.AndroidVersion,
+			FiveG: e.FiveGCapable, Kind: e.Kind.String(), ISP: e.ISP.String(),
+			Cell: e.Cell.String(), Region: e.Region.String(), DenseBS: e.DenseBS,
+			RAT: e.RAT.String(), Level: int(e.Level), Cause: e.Cause.String(),
+			StartS: e.Start.Seconds(), DurationS: e.Duration.Seconds(),
+			Ops: e.OpsExecuted, AutoFixS: e.AutoFixTime.Seconds(),
+		}
+		if e.ResolvedBy != 0 {
+			je.ResolvedBy = e.ResolvedBy.String()
+		}
+		if tr := e.Transition; tr != nil {
+			je.Transition = &struct {
+				FromRAT   string `json:"from_rat"`
+				FromLevel int    `json:"from_level"`
+				ToRAT     string `json:"to_rat"`
+				ToLevel   int    `json:"to_level"`
+			}{tr.FromRAT.String(), int(tr.FromLevel), tr.ToRAT.String(), int(tr.ToLevel)}
+		}
+		werr = enc.Encode(je)
+	})
+	return werr
+}

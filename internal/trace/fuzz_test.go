@@ -1,0 +1,49 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/failure"
+)
+
+// FuzzReadBatch hardens the wire decoder: arbitrary bytes must never
+// panic or over-allocate, and valid frames must round-trip.
+func FuzzReadBatch(f *testing.F) {
+	var valid bytesBuffer
+	WriteBatch(&valid, &Batch{DeviceID: 3, Events: sampleEvents(3)})
+	f.Add([]byte(valid))
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 4, 1, 2, 3, 4})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := ReadBatch(bytesReader(data))
+		if err != nil {
+			return
+		}
+		// A successfully decoded batch must be internally consistent.
+		for i := range b.Events {
+			_ = b.Events[i].Kind.String()
+		}
+	})
+}
+
+// FuzzStreamReader: the framed stream reader must terminate on any input.
+func FuzzStreamReader(f *testing.F) {
+	var valid bytesBuffer
+	sw := NewStreamWriter(&valid, 2)
+	for _, e := range sampleEvents(5) {
+		sw.Write(e)
+	}
+	sw.Flush()
+	f.Add([]byte(valid))
+	f.Add([]byte{0, 0, 0, 1, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n := 0
+		_ = EachStream(bytesReader(data), func(e *failure.Event) {
+			n++
+			if n > 1_000_000 {
+				t.Fatal("unbounded event stream from finite input")
+			}
+		})
+	})
+}

@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func apiServer(t *testing.T, n int) (*httptest.Server, func()) {
+	t.Helper()
+	ds := NewDataset()
+	ds.Append(sampleEvents(n)...)
+	mux := http.NewServeMux()
+	NewQueryAPI(ds).Routes(mux)
+	srv := httptest.NewServer(mux)
+	return srv, srv.Close
+}
+
+func getJSON(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp
+}
+
+func TestAPIStats(t *testing.T) {
+	srv, done := apiServer(t, 30)
+	defer done()
+	var out struct {
+		Events  int            `json:"events"`
+		Devices int            `json:"devices"`
+		ByKind  map[string]int `json:"by_kind"`
+	}
+	resp := getJSON(t, srv.URL+"/api/stats", &out)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if out.Events != 30 || out.Devices != 30 {
+		t.Errorf("stats = %+v", out)
+	}
+	if len(out.ByKind) != 3 {
+		t.Errorf("kinds = %v", out.ByKind)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type %q", ct)
+	}
+}
+
+func TestAPIEventsLimitAndFilter(t *testing.T) {
+	srv, done := apiServer(t, 50)
+	defer done()
+	var rows []map[string]any
+	getJSON(t, srv.URL+"/api/events?limit=7", &rows)
+	if len(rows) != 7 {
+		t.Errorf("limit ignored: %d rows", len(rows))
+	}
+	rows = nil
+	getJSON(t, srv.URL+"/api/events?kind=Data_Stall&limit=1000", &rows)
+	if len(rows) == 0 {
+		t.Fatal("no stall rows")
+	}
+	for _, r := range rows {
+		if r["kind"] != "Data_Stall" {
+			t.Fatalf("filter leaked: %v", r["kind"])
+		}
+	}
+	resp, err := http.Get(srv.URL + "/api/events?limit=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad limit status = %d", resp.StatusCode)
+	}
+}
+
+func TestAPIByModelAndISP(t *testing.T) {
+	srv, done := apiServer(t, 60)
+	defer done()
+	var models []struct {
+		ModelID int `json:"model_id"`
+		Events  int `json:"events"`
+		Devices int `json:"devices"`
+	}
+	getJSON(t, srv.URL+"/api/by-model", &models)
+	if len(models) == 0 {
+		t.Fatal("no model rows")
+	}
+	totalEvents := 0
+	for _, m := range models {
+		if m.Events < m.Devices {
+			t.Errorf("model %d: events %d < devices %d", m.ModelID, m.Events, m.Devices)
+		}
+		totalEvents += m.Events
+	}
+	// sampleEvents uses ModelID = i % 34, so model 0 events are excluded
+	// from 1..34 rows; the rest must be accounted for.
+	if totalEvents == 0 {
+		t.Error("no events attributed")
+	}
+
+	var isps []struct {
+		ISP    string `json:"isp"`
+		Events int    `json:"events"`
+	}
+	getJSON(t, srv.URL+"/api/by-isp", &isps)
+	if len(isps) != 3 {
+		t.Fatalf("isp rows = %d", len(isps))
+	}
+	sum := 0
+	for _, r := range isps {
+		sum += r.Events
+	}
+	if sum != 60 {
+		t.Errorf("ISP events sum %d, want 60", sum)
+	}
+}

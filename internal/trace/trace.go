@@ -1,0 +1,435 @@
+// Package trace implements the measurement data pipeline of Android-MOD:
+// failure events are batched per device, compressed, and uploaded to a
+// backend collector for centralized analysis (§2.2–2.3). Uploads are gated
+// on WiFi connectivity to spare the (possibly failing) cellular link, and
+// per-device network budgets are accounted so the <100 KB/month overhead
+// claim can be checked.
+package trace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/failure"
+	"repro/internal/stats"
+)
+
+// Batch is one upload unit: a device's buffered failure events.
+type Batch struct {
+	DeviceID uint64
+	Events   []failure.Event
+}
+
+// maxBatchWire caps a decoded batch's wire size (64 MiB) so a corrupt
+// length prefix cannot drive an allocation bomb.
+const maxBatchWire = 64 << 20
+
+// WriteBatch writes a length-prefixed, gzip-compressed, gob-encoded batch.
+func WriteBatch(w io.Writer, b *Batch) (int, error) {
+	var payload bytesBuffer
+	zw := gzip.NewWriter(&payload)
+	if err := gob.NewEncoder(zw).Encode(b); err != nil {
+		return 0, fmt.Errorf("trace: encode batch: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return 0, fmt.Errorf("trace: compress batch: %w", err)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return 0, err
+	}
+	return 4 + len(payload), nil
+}
+
+// ReadBatch reads one batch written by WriteBatch. It returns io.EOF when
+// the stream ends cleanly at a batch boundary.
+func ReadBatch(r io.Reader) (*Batch, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("trace: read batch header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > maxBatchWire {
+		return nil, fmt.Errorf("trace: implausible batch size %d", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("trace: read batch payload: %w", err)
+	}
+	zr, err := gzip.NewReader(bytesReader(payload))
+	if err != nil {
+		return nil, fmt.Errorf("trace: decompress batch: %w", err)
+	}
+	defer zr.Close()
+	var b Batch
+	if err := gob.NewDecoder(zr).Decode(&b); err != nil {
+		return nil, fmt.Errorf("trace: decode batch: %w", err)
+	}
+	return &b, nil
+}
+
+// bytesBuffer is a minimal append-only buffer implementing io.Writer.
+type bytesBuffer []byte
+
+func (b *bytesBuffer) Write(p []byte) (int, error) {
+	*b = append(*b, p...)
+	return len(p), nil
+}
+
+func bytesReader(b []byte) io.Reader { return &sliceReader{b: b} }
+
+type sliceReader struct{ b []byte }
+
+func (r *sliceReader) Read(p []byte) (int, error) {
+	if len(r.b) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b)
+	r.b = r.b[n:]
+	return n, nil
+}
+
+// Dataset is the centralized event store the analysis pipeline reads.
+// It is safe for concurrent appends (fleet shards and collector
+// connections feed it in parallel).
+type Dataset struct {
+	mu     sync.RWMutex
+	events []failure.Event
+}
+
+// NewDataset returns an empty dataset.
+func NewDataset() *Dataset { return &Dataset{} }
+
+// Append adds events.
+func (d *Dataset) Append(events ...failure.Event) {
+	d.mu.Lock()
+	d.events = append(d.events, events...)
+	d.mu.Unlock()
+}
+
+// Len returns the number of stored events.
+func (d *Dataset) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.events)
+}
+
+// Each calls fn for every event. fn must not retain pointers into the
+// event's Transition across calls if it mutates the dataset.
+func (d *Dataset) Each(fn func(*failure.Event)) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	for i := range d.events {
+		fn(&d.events[i])
+	}
+}
+
+// Events returns a copy of all stored events.
+func (d *Dataset) Events() []failure.Event {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return append([]failure.Event(nil), d.events...)
+}
+
+// SaveFile persists the dataset as a single gzip+gob stream.
+func (d *Dataset) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	bw := bufio.NewWriter(f)
+	zw := gzip.NewWriter(bw)
+	d.mu.RLock()
+	err = gob.NewEncoder(zw).Encode(d.events)
+	d.mu.RUnlock()
+	if err != nil {
+		return fmt.Errorf("trace: save dataset: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a dataset written by SaveFile.
+func LoadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(bufio.NewReader(f))
+	if err != nil {
+		return nil, fmt.Errorf("trace: open dataset: %w", err)
+	}
+	defer zr.Close()
+	var events []failure.Event
+	if err := gob.NewDecoder(zr).Decode(&events); err != nil {
+		return nil, fmt.Errorf("trace: load dataset: %w", err)
+	}
+	return &Dataset{events: events}, nil
+}
+
+// Collector is the backend TCP server that receives uploaded batches.
+// Alongside storing events it tracks streaming duration percentiles with
+// P² sketches, so operational dashboards get p50/p90/p99 without the
+// backend retaining samples.
+type Collector struct {
+	ln net.Listener
+	ds *Dataset
+
+	mu        sync.Mutex
+	batches   int
+	rxBytes   int64
+	closed    bool
+	quantiles *stats.QuantileSet
+	wg        sync.WaitGroup
+}
+
+// NewCollector starts a collector on addr (e.g. "127.0.0.1:0") feeding ds.
+func NewCollector(addr string, ds *Dataset) (*Collector, error) {
+	if ds == nil {
+		return nil, errors.New("trace: nil dataset")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	qs, err := stats.NewQuantileSet(0.5, 0.9, 0.99)
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	c := &Collector{ln: ln, ds: ds, quantiles: qs}
+	c.wg.Add(1)
+	go c.acceptLoop()
+	return c, nil
+}
+
+// Addr returns the collector's listen address.
+func (c *Collector) Addr() string { return c.ln.Addr().String() }
+
+// Stats returns the number of batches and payload bytes received.
+func (c *Collector) Stats() (batches int, rxBytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.batches, c.rxBytes
+}
+
+// DurationQuantiles returns the streaming p50/p90/p99 of received failure
+// durations, in seconds.
+func (c *Collector) DurationQuantiles() (p50, p90, p99 float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	qs := c.quantiles.Quantiles()
+	return qs[0], qs[1], qs[2]
+}
+
+// Close stops the collector and waits for in-flight connections.
+func (c *Collector) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	err := c.ln.Close()
+	c.wg.Wait()
+	return err
+}
+
+func (c *Collector) acceptLoop() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			defer conn.Close()
+			c.serve(conn)
+		}()
+	}
+}
+
+func (c *Collector) serve(conn net.Conn) {
+	br := bufio.NewReader(conn)
+	for {
+		b, err := ReadBatch(br)
+		if err != nil {
+			return // EOF or malformed stream: drop the connection
+		}
+		c.ds.Append(b.Events...)
+		c.mu.Lock()
+		c.batches++
+		c.rxBytes += int64(approxBatchSize(b))
+		for i := range b.Events {
+			c.quantiles.Add(b.Events[i].Duration.Seconds())
+		}
+		c.mu.Unlock()
+		// Acknowledge once the batch is durably in the dataset, so the
+		// device can trim its buffer knowing nothing was lost in flight.
+		if _, err := conn.Write([]byte{batchAck}); err != nil {
+			return
+		}
+	}
+}
+
+// batchAck is the single-byte acknowledgement for a stored batch.
+const batchAck = 0x06
+
+func approxBatchSize(b *Batch) int {
+	return len(b.Events) * 96 // bookkeeping estimate only
+}
+
+// Uploader buffers a device's events and uploads them to the collector
+// only when WiFi is available, exactly like Android-MOD ("the recorded
+// data are uploaded to our backend server only when there is WiFi
+// connectivity").
+type Uploader struct {
+	addr string
+
+	// FlushThreshold is how many events accumulate before an on-WiFi
+	// Record triggers an upload (default 1: immediate). Batching
+	// amortizes the TCP round trip; SetWiFi(true) and Flush always drain
+	// everything regardless.
+	FlushThreshold int
+
+	// sendMu serializes Flush so concurrent flushes cannot double-send.
+	sendMu    sync.Mutex
+	mu        sync.Mutex
+	deviceID  uint64
+	pending   []failure.Event
+	wifi      bool
+	sentBytes int64
+	uploads   int
+}
+
+// NewUploader creates an uploader for a device targeting the collector at
+// addr.
+func NewUploader(addr string, deviceID uint64) *Uploader {
+	return &Uploader{addr: addr, deviceID: deviceID}
+}
+
+// Record buffers an event for upload.
+func (u *Uploader) Record(e failure.Event) {
+	u.mu.Lock()
+	u.pending = append(u.pending, e)
+	threshold := u.FlushThreshold
+	if threshold < 1 {
+		threshold = 1
+	}
+	flush := u.wifi && len(u.pending) >= threshold
+	u.mu.Unlock()
+	if flush {
+		u.Flush() // best effort; events stay buffered on failure
+	}
+}
+
+// Pending returns the number of buffered events.
+func (u *Uploader) Pending() int {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return len(u.pending)
+}
+
+// SentBytes returns total wire bytes uploaded (network budget accounting).
+func (u *Uploader) SentBytes() int64 {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.sentBytes
+}
+
+// SetWiFi updates connectivity; gaining WiFi flushes the buffer.
+func (u *Uploader) SetWiFi(on bool) {
+	u.mu.Lock()
+	u.wifi = on
+	n := len(u.pending)
+	u.mu.Unlock()
+	if on && n > 0 {
+		u.Flush()
+	}
+}
+
+// Flush uploads all buffered events if WiFi is available.
+func (u *Uploader) Flush() error {
+	u.sendMu.Lock()
+	defer u.sendMu.Unlock()
+	u.mu.Lock()
+	if !u.wifi {
+		u.mu.Unlock()
+		return errors.New("trace: no WiFi connectivity")
+	}
+	if len(u.pending) == 0 {
+		u.mu.Unlock()
+		return nil
+	}
+	batch := &Batch{DeviceID: u.deviceID, Events: u.pending}
+	u.mu.Unlock()
+
+	conn, err := net.Dial("tcp", u.addr)
+	if err != nil {
+		return fmt.Errorf("trace: dial collector: %w", err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(30 * time.Second))
+	n, err := WriteBatch(conn, batch)
+	if err != nil {
+		return fmt.Errorf("trace: upload: %w", err)
+	}
+	var ack [1]byte
+	if _, err := io.ReadFull(conn, ack[:]); err != nil || ack[0] != batchAck {
+		return fmt.Errorf("trace: collector did not acknowledge batch: %w", err)
+	}
+	u.mu.Lock()
+	u.sentBytes += int64(n)
+	u.uploads++
+	// Only clear what was sent; events recorded mid-flight stay pending.
+	u.pending = u.pending[len(batch.Events):]
+	u.mu.Unlock()
+	return nil
+}
+
+// Filter returns a new dataset with the events matching pred.
+func (d *Dataset) Filter(pred func(*failure.Event) bool) *Dataset {
+	out := NewDataset()
+	d.Each(func(e *failure.Event) {
+		if pred(e) {
+			out.events = append(out.events, *e)
+		}
+	})
+	return out
+}
+
+// Merge combines datasets into a new one.
+func Merge(ds ...*Dataset) *Dataset {
+	out := NewDataset()
+	for _, d := range ds {
+		if d == nil {
+			continue
+		}
+		d.mu.RLock()
+		out.events = append(out.events, d.events...)
+		d.mu.RUnlock()
+	}
+	return out
+}

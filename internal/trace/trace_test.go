@@ -1,0 +1,496 @@
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/failure"
+	"repro/internal/simnet"
+	"repro/internal/telephony"
+)
+
+func sampleEvents(n int) []failure.Event {
+	events := make([]failure.Event, n)
+	for i := range events {
+		events[i] = failure.Event{
+			Kind:           failure.Kind(i % 3),
+			DeviceID:       uint64(i),
+			ModelID:        i % 34,
+			AndroidVersion: 9 + i%2,
+			ISP:            simnet.ISPID(i % 3),
+			RAT:            telephony.RAT4G,
+			Level:          telephony.SignalLevel(i % 6),
+			Cause:          telephony.CauseSignalLost,
+			Start:          time.Duration(i) * time.Minute,
+			Duration:       time.Duration(10+i) * time.Second,
+		}
+	}
+	if n > 1 {
+		events[1].Transition = &failure.TransitionInfo{
+			FromRAT: telephony.RAT4G, ToRAT: telephony.RAT5G,
+			FromLevel: telephony.Level4, ToLevel: telephony.Level0,
+		}
+	}
+	return events
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	var buf bytesBuffer
+	in := &Batch{DeviceID: 42, Events: sampleEvents(10)}
+	n, err := WriteBatch(&buf, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) {
+		t.Errorf("WriteBatch reported %d bytes, wrote %d", n, len(buf))
+	}
+	out, err := ReadBatch(bytesReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.DeviceID != 42 || len(out.Events) != 10 {
+		t.Fatalf("decoded %d events for device %d", len(out.Events), out.DeviceID)
+	}
+	if out.Events[3] != in.Events[3] {
+		t.Errorf("event 3 mismatch: %+v vs %+v", out.Events[3], in.Events[3])
+	}
+	if out.Events[1].Transition == nil || *out.Events[1].Transition != *in.Events[1].Transition {
+		t.Error("transition info lost in round trip")
+	}
+}
+
+func TestReadBatchEOF(t *testing.T) {
+	if _, err := ReadBatch(bytesReader(nil)); err != io.EOF {
+		t.Errorf("empty stream error = %v, want io.EOF", err)
+	}
+}
+
+func TestReadBatchCorruptHeader(t *testing.T) {
+	// Implausibly large length prefix must not allocate.
+	buf := []byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0}
+	if _, err := ReadBatch(bytesReader(buf)); err == nil {
+		t.Error("corrupt header accepted")
+	}
+	// Truncated payload.
+	var ok bytesBuffer
+	WriteBatch(&ok, &Batch{DeviceID: 1, Events: sampleEvents(2)})
+	if _, err := ReadBatch(bytesReader(ok[:len(ok)-3])); err == nil {
+		t.Error("truncated payload accepted")
+	}
+}
+
+func TestCompressionActuallyShrinks(t *testing.T) {
+	var buf bytesBuffer
+	events := sampleEvents(1000)
+	if _, err := WriteBatch(&buf, &Batch{DeviceID: 1, Events: events}); err != nil {
+		t.Fatal(err)
+	}
+	// A failure.Event is well over 100 bytes in memory; gob+gzip should
+	// get far below that per event for repetitive fleet data.
+	perEvent := len(buf) / len(events)
+	if perEvent > 64 {
+		t.Errorf("compressed size %d bytes/event, want <= 64 (monthly budget depends on it)", perEvent)
+	}
+}
+
+func TestDatasetAppendAndQuery(t *testing.T) {
+	ds := NewDataset()
+	ds.Append(sampleEvents(5)...)
+	ds.Append(sampleEvents(3)...)
+	if ds.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", ds.Len())
+	}
+	count := 0
+	ds.Each(func(e *failure.Event) {
+		if e == nil {
+			t.Fatal("nil event")
+		}
+		count++
+	})
+	if count != 8 {
+		t.Errorf("Each visited %d, want 8", count)
+	}
+	evs := ds.Events()
+	evs[0].DeviceID = 999999
+	if ds.Events()[0].DeviceID == 999999 {
+		t.Error("Events() must return a copy")
+	}
+}
+
+func TestDatasetSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "dataset.gob.gz")
+	ds := NewDataset()
+	ds.Append(sampleEvents(50)...)
+	if err := ds.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 50 {
+		t.Fatalf("loaded %d events, want 50", got.Len())
+	}
+	a, b := ds.Events(), got.Events()
+	for i := range a {
+		if a[i].DeviceID != b[i].DeviceID || a[i].Duration != b[i].Duration {
+			t.Fatalf("event %d mismatch after save/load", i)
+		}
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestCollectorAndUploaderEndToEnd(t *testing.T) {
+	ds := NewDataset()
+	col, err := NewCollector("127.0.0.1:0", ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+
+	up := NewUploader(col.Addr(), 7)
+	for _, e := range sampleEvents(20) {
+		up.Record(e)
+	}
+	if up.Pending() != 20 {
+		t.Fatalf("pending = %d, want 20 (no WiFi yet)", up.Pending())
+	}
+	if err := up.Flush(); err == nil {
+		t.Fatal("Flush without WiFi should fail")
+	}
+	up.SetWiFi(true) // triggers flush
+	waitFor(t, func() bool { return up.Pending() == 0 })
+	waitFor(t, func() bool { return ds.Len() == 20 })
+	if up.SentBytes() == 0 {
+		t.Error("SentBytes not accounted")
+	}
+	batches, _ := col.Stats()
+	if batches != 1 {
+		t.Errorf("collector batches = %d, want 1", batches)
+	}
+
+	// Records while on WiFi upload immediately.
+	up.Record(sampleEvents(1)[0])
+	waitFor(t, func() bool { return ds.Len() == 21 })
+
+	// Losing WiFi buffers again.
+	up.SetWiFi(false)
+	up.Record(sampleEvents(1)[0])
+	if up.Pending() != 1 {
+		t.Errorf("pending = %d after record without WiFi", up.Pending())
+	}
+}
+
+func TestUploaderFlushEmptyIsNil(t *testing.T) {
+	ds := NewDataset()
+	col, err := NewCollector("127.0.0.1:0", ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+	up := NewUploader(col.Addr(), 1)
+	up.SetWiFi(true)
+	if err := up.Flush(); err != nil {
+		t.Errorf("empty flush error: %v", err)
+	}
+}
+
+func TestUploaderDialFailureKeepsEvents(t *testing.T) {
+	up := NewUploader("127.0.0.1:1", 1) // nothing listens on port 1
+	up.SetWiFi(true)
+	up.Record(sampleEvents(1)[0])
+	if up.Pending() != 1 {
+		t.Errorf("events lost on dial failure: pending = %d", up.Pending())
+	}
+	if err := up.Flush(); err == nil {
+		t.Error("flush to dead collector should error")
+	}
+}
+
+func TestCollectorMultipleConnections(t *testing.T) {
+	ds := NewDataset()
+	col, err := NewCollector("127.0.0.1:0", ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+	const uploaders = 8
+	done := make(chan error, uploaders)
+	for i := 0; i < uploaders; i++ {
+		go func(id int) {
+			up := NewUploader(col.Addr(), uint64(id))
+			up.SetWiFi(true)
+			for _, e := range sampleEvents(25) {
+				up.Record(e)
+			}
+			done <- up.Flush()
+		}(i)
+	}
+	for i := 0; i < uploaders; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool { return ds.Len() == uploaders*25 })
+}
+
+func TestNewCollectorNilDataset(t *testing.T) {
+	if _, err := NewCollector("127.0.0.1:0", nil); err == nil {
+		t.Error("nil dataset accepted")
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition not met within deadline")
+}
+
+func TestWriteCSV(t *testing.T) {
+	ds := NewDataset()
+	ds.Append(sampleEvents(10)...)
+	var buf bytesBuffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(buf)), "\n")
+	if len(lines) != 11 {
+		t.Fatalf("lines = %d, want header + 10", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "device_id,model_id") {
+		t.Errorf("header = %q", lines[0])
+	}
+	// The transition event carries its columns.
+	found := false
+	for _, l := range lines[1:] {
+		if strings.Contains(l, "4G,4,5G,0") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("transition columns missing")
+	}
+	// Parse back with the csv reader for structural validity.
+	rows, err := csv.NewReader(bytesReader(buf)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rows {
+		if len(r) != 21 {
+			t.Fatalf("row %d has %d columns", i, len(r))
+		}
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	ds := NewDataset()
+	ds.Append(sampleEvents(5)...)
+	var buf bytesBuffer
+	if err := ds.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(buf)), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	for i, l := range lines {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(l), &obj); err != nil {
+			t.Fatalf("line %d invalid JSON: %v", i, err)
+		}
+		if _, ok := obj["device_id"]; !ok {
+			t.Fatalf("line %d missing device_id", i)
+		}
+	}
+	if !strings.Contains(string(buf), `"transition"`) {
+		t.Error("transition object missing from JSONL")
+	}
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	var buf bytesBuffer
+	sw := NewStreamWriter(&buf, 7) // odd chunk to force partial final frame
+	events := sampleEvents(100)
+	for _, e := range events {
+		if err := sw.Write(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if sw.Count() != 100 {
+		t.Errorf("Count = %d", sw.Count())
+	}
+	var got []failure.Event
+	if err := EachStream(bytesReader(buf), func(e *failure.Event) { got = append(got, *e) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("read %d events", len(got))
+	}
+	for i := range got {
+		if got[i].DeviceID != events[i].DeviceID || got[i].Duration != events[i].Duration {
+			t.Fatalf("event %d mismatch", i)
+		}
+	}
+}
+
+func TestStreamReaderIncremental(t *testing.T) {
+	var buf bytesBuffer
+	sw := NewStreamWriter(&buf, 0) // default chunk
+	for _, e := range sampleEvents(10) {
+		sw.Write(e)
+	}
+	sw.Flush()
+	sr := NewStreamReader(bytesReader(buf))
+	for i := 0; i < 10; i++ {
+		e, err := sr.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.DeviceID != uint64(i) {
+			t.Fatalf("event %d out of order: %d", i, e.DeviceID)
+		}
+	}
+	if _, err := sr.Next(); err != io.EOF {
+		t.Errorf("err = %v, want io.EOF", err)
+	}
+	// Errors are sticky.
+	if _, err := sr.Next(); err != io.EOF {
+		t.Errorf("second err = %v", err)
+	}
+}
+
+func TestStreamCorruption(t *testing.T) {
+	var buf bytesBuffer
+	sw := NewStreamWriter(&buf, 5)
+	for _, e := range sampleEvents(10) {
+		sw.Write(e)
+	}
+	sw.Flush()
+	// Truncate mid-frame: the reader must surface a non-EOF error.
+	err := EachStream(bytesReader(buf[:len(buf)-4]), func(*failure.Event) {})
+	if err == nil {
+		t.Error("truncated stream read cleanly")
+	}
+}
+
+func TestDatasetWriteStream(t *testing.T) {
+	ds := NewDataset()
+	ds.Append(sampleEvents(50)...)
+	var buf bytesBuffer
+	if err := ds.WriteStream(&buf, 16); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	if err := EachStream(bytesReader(buf), func(*failure.Event) { n++ }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 50 {
+		t.Errorf("streamed %d events", n)
+	}
+}
+
+func TestCollectorStreamingQuantiles(t *testing.T) {
+	ds := NewDataset()
+	col, err := NewCollector("127.0.0.1:0", ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+	up := NewUploader(col.Addr(), 1)
+	up.SetWiFi(true)
+	// Durations 10..409 seconds across 400 events.
+	events := make([]failure.Event, 400)
+	for i := range events {
+		events[i] = failure.Event{DeviceID: uint64(i), Duration: time.Duration(10+i) * time.Second}
+	}
+	for _, e := range events {
+		up.Record(e)
+	}
+	if err := up.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return ds.Len() == 400 })
+	p50, p90, p99 := col.DurationQuantiles()
+	if p50 < 180 || p50 > 240 {
+		t.Errorf("p50 = %v, want ≈210", p50)
+	}
+	if p90 < 330 || p90 > 400 {
+		t.Errorf("p90 = %v, want ≈370", p90)
+	}
+	if p99 < 380 || p99 > 410 {
+		t.Errorf("p99 = %v, want ≈405", p99)
+	}
+	if !(p50 < p90 && p90 < p99) {
+		t.Errorf("quantiles not ordered: %v %v %v", p50, p90, p99)
+	}
+}
+
+func TestFilterAndMerge(t *testing.T) {
+	ds := NewDataset()
+	ds.Append(sampleEvents(30)...)
+	stalls := ds.Filter(func(e *failure.Event) bool { return e.Kind == failure.DataStall })
+	if stalls.Len() == 0 || stalls.Len() >= ds.Len() {
+		t.Fatalf("filtered %d of %d", stalls.Len(), ds.Len())
+	}
+	stalls.Each(func(e *failure.Event) {
+		if e.Kind != failure.DataStall {
+			t.Fatalf("filter leaked %v", e.Kind)
+		}
+	})
+	// The filtered dataset is independent of the source.
+	before := ds.Len()
+	stalls.Append(sampleEvents(1)...)
+	if ds.Len() != before {
+		t.Error("filter result aliases the source")
+	}
+
+	other := NewDataset()
+	other.Append(sampleEvents(5)...)
+	merged := Merge(ds, other, nil)
+	if merged.Len() != ds.Len()+5 {
+		t.Errorf("merged %d, want %d", merged.Len(), ds.Len()+5)
+	}
+}
+
+func TestUploaderFlushThreshold(t *testing.T) {
+	ds := NewDataset()
+	col, err := NewCollector("127.0.0.1:0", ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+	up := NewUploader(col.Addr(), 1)
+	up.FlushThreshold = 10
+	up.SetWiFi(true)
+	for _, e := range sampleEvents(9) {
+		up.Record(e) // below threshold: stays buffered
+	}
+	if up.Pending() != 9 {
+		t.Fatalf("pending = %d, want 9 buffered", up.Pending())
+	}
+	up.Record(sampleEvents(1)[0]) // hits threshold: uploads
+	waitFor(t, func() bool { return ds.Len() == 10 })
+	if up.Pending() != 0 {
+		t.Errorf("pending = %d after threshold flush", up.Pending())
+	}
+}
