@@ -2,10 +2,17 @@
 // query API plus a minimal dashboard page — the centralized-analysis
 // service a deployment would put in front of the collected dataset.
 //
+// The process also exports its runtime metrics (fleet, trace, and
+// monitor families) at /metrics in Prometheus text exposition (append
+// ?format=json for the JSON dump), and -pprof additionally mounts the
+// net/http/pprof profiling handlers under /debug/pprof/.
+//
 // Usage:
 //
 //	cellserve -in run.snap.gz -listen 127.0.0.1:8080
+//	cellserve -in run.snap.gz -pprof   # enable /debug/pprof/
 //	curl localhost:8080/api/stats
+//	curl localhost:8080/metrics
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/failure"
 	"repro/internal/fleet"
+	"repro/internal/metrics"
 	"repro/internal/trace"
 )
 
@@ -33,14 +41,16 @@ var page = template.Must(template.New("index").Parse(`<!doctype html>
 <table><tr><th>ISP</th><th>prevalence</th><th>frequency</th></tr>
 {{range .ISPs}}<tr><td>{{.Name}}</td><td>{{printf "%.1f%%" .Prev}}</td><td>{{printf "%.1f" .Freq}}</td></tr>{{end}}</table>
 <p>JSON API: <a href="/api/stats">/api/stats</a> · <a href="/api/by-model">/api/by-model</a> ·
-<a href="/api/by-isp">/api/by-isp</a> · <a href="/api/events?limit=20">/api/events</a></p>
+<a href="/api/by-isp">/api/by-isp</a> · <a href="/api/events?limit=20">/api/events</a> ·
+<a href="/metrics">/metrics</a></p>
 `))
 
 func main() {
 	log.SetFlags(0)
 	var (
-		inPath = flag.String("in", "run.snap.gz", "input snapshot")
-		listen = flag.String("listen", "127.0.0.1:8080", "listen address")
+		inPath    = flag.String("in", "run.snap.gz", "input snapshot")
+		listen    = flag.String("listen", "127.0.0.1:8080", "listen address")
+		withPprof = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -49,9 +59,14 @@ func main() {
 		log.Fatalf("cellserve: %v", err)
 	}
 	in := analysis.FromResult(res)
+	res.Dataset.ExposeSize()
 
 	mux := http.NewServeMux()
 	trace.NewQueryAPI(res.Dataset).Routes(mux)
+	mux.Handle("/metrics", metrics.Handler())
+	if *withPprof {
+		metrics.RegisterPprof(mux)
+	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)

@@ -7,6 +7,12 @@
 //	cellsim -devices 4000 -months 8 -seed 1 -o run.snap.gz
 //	cellsim -devices 4000 -patched -o patched.snap.gz   # §4.2 enhancements on
 //	cellsim -devices 1000 -upload 127.0.0.1:9230        # stream to a collector
+//	cellsim -devices 100000 -progress 5s                # periodic progress on stderr
+//
+// After the run a one-line metrics summary (the fleet_*, monitor_*, and
+// trace_* counter/gauge families) is printed to stderr; -progress N
+// additionally reports devices done, recorded events, and events/sec
+// every N while the fleet simulates.
 package main
 
 import (
@@ -18,20 +24,22 @@ import (
 
 	"repro/internal/android"
 	"repro/internal/fleet"
+	"repro/internal/metrics"
 )
 
 func main() {
 	log.SetFlags(0)
 	var (
-		config  = flag.String("config", "", "JSON scenario file (overrides the other scenario flags)")
-		devices = flag.Int("devices", 4000, "fleet size")
-		months  = flag.Float64("months", 8, "measurement window in months")
-		seed    = flag.Int64("seed", 1, "simulation seed")
-		numBS   = flag.Int("bs", 0, "base stations (default devices/2)")
-		workers = flag.Int("workers", 8, "simulation worker shards")
-		patched = flag.Bool("patched", false, "enable the §4.2 enhancements (stability-compatible RAT policy, dual connectivity, TIMP trigger)")
-		upload  = flag.String("upload", "", "collector address to upload events to over TCP")
-		out     = flag.String("o", "run.snap.gz", "output snapshot path (empty to skip)")
+		config   = flag.String("config", "", "JSON scenario file (overrides the other scenario flags)")
+		devices  = flag.Int("devices", 4000, "fleet size")
+		months   = flag.Float64("months", 8, "measurement window in months")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		numBS    = flag.Int("bs", 0, "base stations (default devices/2)")
+		workers  = flag.Int("workers", 8, "simulation worker shards")
+		patched  = flag.Bool("patched", false, "enable the §4.2 enhancements (stability-compatible RAT policy, dual connectivity, TIMP trigger)")
+		upload   = flag.String("upload", "", "collector address to upload events to over TCP")
+		out      = flag.String("o", "run.snap.gz", "output snapshot path (empty to skip)")
+		progress = flag.Duration("progress", 0, "print periodic progress (devices done, events/sec) to stderr; 0 disables")
 	)
 	flag.Parse()
 
@@ -56,12 +64,21 @@ func main() {
 		}
 	}
 
+	var stopProgress chan struct{}
+	if *progress > 0 {
+		stopProgress = make(chan struct{})
+		go reportProgress(*progress, scenario.NumDevices, stopProgress)
+	}
+
 	start := time.Now()
 	res, err := fleet.Run(scenario)
 	if err != nil {
 		log.Fatalf("cellsim: %v", err)
 	}
 	elapsed := time.Since(start)
+	if stopProgress != nil {
+		close(stopProgress)
+	}
 
 	fmt.Printf("%s\n", res)
 	fmt.Printf("simulated %.1f months of %d devices in %v\n",
@@ -73,11 +90,45 @@ func main() {
 		res.Overhead.MeanCPUUtilization*100, res.Overhead.MaxCPUUtilization*100,
 		res.Overhead.MaxStorageBytes, res.Overhead.MaxNetworkBytes)
 
+	// One-line runtime metrics summary on stderr: the same counters the
+	// /metrics endpoints export, so scripted runs can grep pipeline
+	// health (uploader retries, filtered classes, shard counts) without
+	// standing up an HTTP listener.
+	simEvents, _ := metrics.Default().Value("fleet_sim_events_total")
+	fmt.Fprintf(os.Stderr, "metrics: %s sim_events/s=%.0f\n",
+		metrics.Default().Summary("fleet_", "monitor_", "trace_"), simEvents/elapsed.Seconds())
+
 	if *out != "" {
 		if err := fleet.SaveResult(*out, res); err != nil {
 			log.Fatalf("cellsim: save: %v", err)
 		}
 		st, _ := os.Stat(*out)
 		fmt.Printf("wrote %s (%d bytes)\n", *out, st.Size())
+	}
+}
+
+// reportProgress prints a progress line to stderr every interval until
+// done closes, reading the live fleet/monitor counters: devices whose
+// shard has completed, failure events recorded so far, and the recent
+// recording rate.
+func reportProgress(interval time.Duration, totalDevices int, done <-chan struct{}) {
+	reg := metrics.Default()
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	lastEvents, lastAt := 0.0, time.Now()
+	for {
+		select {
+		case <-done:
+			return
+		case <-tick.C:
+			devices, _ := reg.Value("fleet_devices_simulated_total")
+			events, _ := reg.Value("monitor_events_recorded_total")
+			queued, _ := reg.Value("fleet_shard_queue_depth")
+			now := time.Now()
+			rate := (events - lastEvents) / now.Sub(lastAt).Seconds()
+			lastEvents, lastAt = events, now
+			fmt.Fprintf(os.Stderr, "progress: devices %.0f/%d, events=%.0f (%.0f events/s), queued=%.0f\n",
+				devices, totalDevices, events, rate, queued)
+		}
 	}
 }

@@ -2,28 +2,53 @@
 // receives compressed failure-event batches from devices (or cellsim
 // shards with -upload) and periodically persists the dataset.
 //
+// A side HTTP listener exports runtime metrics (collector batch/byte
+// counters, dataset size, and the fleet/monitor families when shards
+// run in-process) at /metrics in Prometheus text exposition (append
+// ?format=json for the JSON dump); -pprof additionally mounts the
+// net/http/pprof handlers under /debug/pprof/.
+//
+// On SIGINT/SIGTERM the collector shuts down cleanly: the persist
+// ticker stops, the TCP listener closes and in-flight connections
+// drain, and only then does the final persist run — so no batch
+// accepted before the signal can race past the last flush.
+//
 // Usage:
 //
 //	collector -listen 127.0.0.1:9230 -o dataset.gob.gz
+//	collector -http 127.0.0.1:9231 -pprof
+//	curl localhost:9231/metrics
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/trace"
+
+	// Blank imports register the fleet and monitor metric families, so
+	// this process's /metrics renders the full catalogue (zero-valued
+	// until shards run in-process) and dashboards stay uniform across
+	// binaries.
+	_ "repro/internal/fleet"
+	_ "repro/internal/monitor"
 )
 
 func main() {
 	log.SetFlags(0)
 	var (
-		listen   = flag.String("listen", "127.0.0.1:9230", "listen address")
-		out      = flag.String("o", "dataset.gob.gz", "dataset output path")
-		interval = flag.Duration("flush", 30*time.Second, "persist interval")
+		listen    = flag.String("listen", "127.0.0.1:9230", "listen address")
+		out       = flag.String("o", "dataset.gob.gz", "dataset output path")
+		interval  = flag.Duration("flush", 30*time.Second, "persist interval")
+		httpAddr  = flag.String("http", "127.0.0.1:9231", "metrics HTTP listen address (empty to disable)")
+		withPprof = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/ on the metrics listener")
 	)
 	flag.Parse()
 
@@ -34,8 +59,24 @@ func main() {
 	}
 	fmt.Printf("collector listening on %s, writing %s every %v\n", col.Addr(), *out, *interval)
 
+	var httpSrv *http.Server
+	if *httpAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", metrics.Handler())
+		if *withPprof {
+			metrics.RegisterPprof(mux)
+		}
+		httpSrv = &http.Server{Addr: *httpAddr, Handler: mux}
+		go func() {
+			if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("collector: metrics http: %v", err)
+			}
+		}()
+		fmt.Printf("metrics on http://%s/metrics\n", *httpAddr)
+	}
+
 	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	tick := time.NewTicker(*interval)
 	defer tick.Stop()
 
@@ -53,8 +94,18 @@ func main() {
 		case <-tick.C:
 			persist()
 		case <-stop:
+			// Shutdown order matters: stop the ticker, stop accepting
+			// and drain in-flight uploads (Close waits for them), and
+			// persist last — the final snapshot then provably contains
+			// every acknowledged batch.
+			tick.Stop()
+			if err := col.Close(); err != nil {
+				log.Printf("collector: close: %v", err)
+			}
 			persist()
-			col.Close()
+			if httpSrv != nil {
+				httpSrv.Close()
+			}
 			return
 		}
 	}

@@ -7,7 +7,6 @@ import (
 	"repro/internal/stats"
 )
 
-
 // KindDelta is the per-kind prevalence/frequency change of Figures 19/20.
 type KindDelta struct {
 	Kind failure.Kind

@@ -39,8 +39,8 @@ type trackerLog struct {
 func TestDcTrackerMultipleAPNs(t *testing.T) {
 	fail := SetupOutcome{Success: false, Cause: telephony.CausePPPTimeout}
 	clock, tr, log := trackerEnv(t, map[telephony.APN][]SetupOutcome{
-		telephony.APNDefault: {},             // connects first try
-		telephony.APNIMS:     {fail},         // one retry
+		telephony.APNDefault: {},                                         // connects first try
+		telephony.APNIMS:     {fail},                                     // one retry
 		telephony.APNMMS:     {fail, fail, fail, fail, fail, fail, fail}, // abandons
 	})
 	for _, apn := range []telephony.APN{telephony.APNDefault, telephony.APNIMS, telephony.APNMMS} {

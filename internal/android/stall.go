@@ -46,8 +46,8 @@ type StallDetector struct {
 }
 
 type segSample struct {
-	at      simclock.Time
-	tx, rx  int
+	at     simclock.Time
+	tx, rx int
 }
 
 // NewStallDetector creates a detector; call Start when the data connection

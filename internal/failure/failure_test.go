@@ -45,15 +45,15 @@ func TestClassifySetupErrorTrueFailures(t *testing.T) {
 
 func TestClassifySetupErrorFalsePositives(t *testing.T) {
 	cases := map[telephony.FailCause]FalsePositiveClass{
-		telephony.CauseVoiceCallPreemption:       FPVoiceCall,
-		telephony.CauseTetheredCallActive:        FPVoiceCall,
-		telephony.CauseBillingSuspension:         FPBalance,
+		telephony.CauseVoiceCallPreemption:        FPVoiceCall,
+		telephony.CauseTetheredCallActive:         FPVoiceCall,
+		telephony.CauseBillingSuspension:          FPBalance,
 		telephony.CauseServiceOptionNotSubscribed: FPBalance,
-		telephony.CauseManualDetach:              FPManualDisconnect,
-		telephony.CauseRegularDeactivation:       FPManualDisconnect,
-		telephony.CauseRadioPowerOff:             FPManualDisconnect,
-		telephony.CauseCongestion:                FPBSOverload,
-		telephony.CauseInsufficientResources:     FPBSOverload,
+		telephony.CauseManualDetach:               FPManualDisconnect,
+		telephony.CauseRegularDeactivation:        FPManualDisconnect,
+		telephony.CauseRadioPowerOff:              FPManualDisconnect,
+		telephony.CauseCongestion:                 FPBSOverload,
+		telephony.CauseInsufficientResources:      FPBSOverload,
 	}
 	for cause, want := range cases {
 		if got := ClassifySetupError(cause); got != want {

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
@@ -21,6 +22,8 @@ import (
 // discrete-event clock and RNG stream; runs are deterministic for a given
 // seed regardless of worker count.
 func Run(s Scenario) (*Result, error) {
+	runStart := time.Now()
+	defer func() { mRunSeconds.Observe(time.Since(runStart).Seconds()) }()
 	s = s.withDefaults()
 	netRng := rng.New(s.Seed)
 	network, err := simnet.Generate(simnet.DefaultDeployment(s.NumBS), netRng.Split("deployment"))
@@ -53,7 +56,7 @@ func Run(s Scenario) (*Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			outs[w] = runShard(&s, network, dataset, modelPick, refMass, lo, hi)
+			outs[w] = runShard(&s, network, dataset, modelPick, refMass, w, lo, hi)
 		}()
 	}
 	wg.Wait()
@@ -113,25 +116,50 @@ type monitorAgg struct {
 	byFPClass                               [failure.NumFalsePositiveClasses]int
 }
 
-// runShard simulates devices [lo, hi) on a private clock.
-func runShard(s *Scenario, network *simnet.Network, dataset *trace.Dataset, modelPick *rng.Categorical, refMass map[classKey]classMass, lo, hi int) (out shardOut) {
+// runShard simulates devices [lo, hi) on a private clock. shard is the
+// worker index, used only as a metrics label.
+func runShard(s *Scenario, network *simnet.Network, dataset *trace.Dataset, modelPick *rng.Categorical, refMass map[classKey]classMass, shard, lo, hi int) (out shardOut) {
+	shardStart := time.Now()
+	mShardsStarted.Inc()
+	mShardsActive.Add(1)
+	defer func() {
+		mShardsActive.Add(-1)
+		mShardsDone.Inc()
+		mShardSeconds.Observe(time.Since(shardStart).Seconds())
+	}()
+
 	clock := simclock.NewScheduler()
 	state := &shardState{refMass: refMass}
 	out.state = state
 
 	// Event delivery: direct append (buffered locally) or TCP upload.
+	// The sink wrapper bumps the fleet-wide event counter; it is a bare
+	// atomic add, so the hot path stays allocation-free and shard
+	// determinism is untouched.
 	var buffer []failure.Event
 	var uploader *trace.Uploader
 	if s.UploadAddr != "" {
 		uploader = trace.NewUploader(s.UploadAddr, uint64(lo))
 	}
 	state.sink = func(e failure.Event) {
+		mEvents.Inc()
 		if uploader != nil {
 			uploader.Record(e)
 			return
 		}
 		buffer = append(buffer, e)
 	}
+
+	// Sample this shard's event-queue depth every simulated hour. The
+	// sampler only reads clock state and writes an atomic gauge: it
+	// cannot perturb the simulation (no RNG draws, no device state).
+	depth := mQueueDepth.With(strconv.Itoa(shard))
+	var sampleDepth func()
+	sampleDepth = func() {
+		depth.Set(float64(clock.QueueLen()))
+		clock.After(time.Hour, sampleDepth)
+	}
+	clock.After(time.Hour, sampleDepth)
 
 	models := device.Models()
 	actors := make([]*actor, 0, hi-lo)
@@ -142,7 +170,10 @@ func runShard(s *Scenario, network *simnet.Network, dataset *trace.Dataset, mode
 	}
 
 	// Run the window plus slack for in-flight episodes to conclude.
-	clock.Run(s.Window + 2*time.Hour)
+	executed := clock.Run(s.Window + 2*time.Hour)
+	mSimEvents.Add(int64(executed))
+	mDevices.Add(int64(hi - lo))
+	depth.Set(0)
 
 	for _, a := range actors {
 		o := a.mon.Overhead()
@@ -178,7 +209,20 @@ func runShard(s *Scenario, network *simnet.Network, dataset *trace.Dataset, mode
 
 	if uploader != nil {
 		uploader.SetWiFi(true)
-		if err := uploader.Flush(); err != nil {
+		// The end-of-shard flush is the one upload that must not be
+		// lost; retry transient collector failures a few times before
+		// surfacing the error, counting retries for the dashboard.
+		var err error
+		for attempt := 0; attempt < shardFlushAttempts; attempt++ {
+			if attempt > 0 {
+				mUploadRetries.Inc()
+				time.Sleep(time.Duration(attempt) * 100 * time.Millisecond)
+			}
+			if err = uploader.Flush(); err == nil {
+				break
+			}
+		}
+		if err != nil {
 			out.err = fmt.Errorf("fleet: upload shard events: %w", err)
 		}
 	} else {
@@ -186,6 +230,9 @@ func runShard(s *Scenario, network *simnet.Network, dataset *trace.Dataset, mode
 	}
 	return out
 }
+
+// shardFlushAttempts bounds the end-of-shard upload retry loop.
+const shardFlushAttempts = 3
 
 // estimateClassMasses Monte-Carlo-estimates, per device class, the expected
 // hazard mass of RAT transitions accumulated over one device's dwell chain

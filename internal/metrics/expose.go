@@ -1,0 +1,212 @@
+package metrics
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format (version 0.0.4), sorted by metric name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range r.sorted() {
+		fmt.Fprintf(bw, "# HELP %s %s\n", e.name, escapeHelp(e.help))
+		fmt.Fprintf(bw, "# TYPE %s %s\n", e.name, e.m.metricType())
+		switch m := e.m.(type) {
+		case *Counter:
+			fmt.Fprintf(bw, "%s %d\n", e.name, m.Value())
+		case *Gauge:
+			fmt.Fprintf(bw, "%s %s\n", e.name, formatFloat(m.Value()))
+		case *Histogram:
+			writePromHistogram(bw, e.name, "", m)
+		case *CounterVec:
+			keys, cs := m.f.snapshot()
+			for i, k := range keys {
+				fmt.Fprintf(bw, "%s{%s} %d\n", e.name, k, cs[i].Value())
+			}
+		case *GaugeVec:
+			keys, gs := m.f.snapshot()
+			for i, k := range keys {
+				fmt.Fprintf(bw, "%s{%s} %s\n", e.name, k, formatFloat(gs[i].Value()))
+			}
+		case *HistogramVec:
+			keys, hs := m.f.snapshot()
+			for i, k := range keys {
+				writePromHistogram(bw, e.name, k, hs[i])
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writePromHistogram emits cumulative _bucket lines (only for buckets
+// the data reaches, to keep 52 mostly-empty buckets out of the output),
+// then the mandatory +Inf bucket, _sum, and _count. extraLabels is a
+// pre-rendered `k="v",...` string or empty.
+func writePromHistogram(w io.Writer, name, extraLabels string, h *Histogram) {
+	sep := ""
+	if extraLabels != "" {
+		sep = ","
+	}
+	var cum int64
+	for i := 0; i <= histBuckets; i++ {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		cum += n
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, extraLabels, sep, formatFloat(histBound(i)), cum)
+	}
+	if extraLabels == "" {
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count())
+		fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(h.Sum()))
+		fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
+		return
+	}
+	fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, extraLabels, h.Count())
+	fmt.Fprintf(w, "%s_sum{%s} %s\n", name, extraLabels, formatFloat(h.Sum()))
+	fmt.Fprintf(w, "%s_count{%s} %d\n", name, extraLabels, h.Count())
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// jsonHistogram is a histogram's JSON form: count, sum, and the
+// non-empty buckets as {le, n} pairs.
+type jsonHistogram struct {
+	Count   int64        `json:"count"`
+	Sum     float64      `json:"sum"`
+	Buckets []jsonBucket `json:"buckets,omitempty"`
+}
+
+type jsonBucket struct {
+	LE float64 `json:"le"`
+	N  int64   `json:"n"` // non-cumulative count in this bucket
+}
+
+func jsonHistValue(h *Histogram) jsonHistogram {
+	out := jsonHistogram{Count: h.Count(), Sum: h.Sum()}
+	for i := 0; i <= histBuckets; i++ {
+		if n := h.buckets[i].Load(); n > 0 {
+			le := histBound(i)
+			if math.IsInf(le, 1) {
+				le = math.MaxFloat64
+			}
+			out.Buckets = append(out.Buckets, jsonBucket{LE: le, N: n})
+		}
+	}
+	return out
+}
+
+// WriteJSON renders every registered metric as one JSON object keyed by
+// metric name: counters and gauges as {type, value}, vecs with a
+// per-labelset value map, histograms as {count, sum, buckets}.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	out := make(map[string]any)
+	for _, e := range r.sorted() {
+		switch m := e.m.(type) {
+		case *Counter:
+			out[e.name] = map[string]any{"type": "counter", "value": m.Value()}
+		case *Gauge:
+			out[e.name] = map[string]any{"type": "gauge", "value": m.Value()}
+		case *Histogram:
+			out[e.name] = map[string]any{"type": "histogram", "value": jsonHistValue(m)}
+		case *CounterVec:
+			keys, cs := m.f.snapshot()
+			vals := make(map[string]int64, len(keys))
+			for i, k := range keys {
+				vals[k] = cs[i].Value()
+			}
+			out[e.name] = map[string]any{"type": "counter", "labels": m.f.labels, "values": vals}
+		case *GaugeVec:
+			keys, gs := m.f.snapshot()
+			vals := make(map[string]float64, len(keys))
+			for i, k := range keys {
+				vals[k] = gs[i].Value()
+			}
+			out[e.name] = map[string]any{"type": "gauge", "labels": m.f.labels, "values": vals}
+		case *HistogramVec:
+			keys, hs := m.f.snapshot()
+			vals := make(map[string]jsonHistogram, len(keys))
+			for i, k := range keys {
+				vals[k] = jsonHistValue(hs[i])
+			}
+			out[e.name] = map[string]any{"type": "histogram", "labels": m.f.labels, "values": vals}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// Handler returns the /metrics endpoint: Prometheus text exposition by
+// default, the JSON dump with ?format=json.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			r.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// Handler returns the default registry's /metrics endpoint.
+func Handler() http.Handler { return std.Handler() }
+
+// Summary renders counters and gauges whose names start with one of the
+// prefixes (all scalars when no prefix is given) as a one-line
+// "name=value" list — the cellsim end-of-run stderr summary. Histograms
+// report their observation count as name_count; empty vecs are omitted.
+func (r *Registry) Summary(prefixes ...string) string {
+	match := func(name string) bool {
+		if len(prefixes) == 0 {
+			return true
+		}
+		for _, p := range prefixes {
+			if strings.HasPrefix(name, p) {
+				return true
+			}
+		}
+		return false
+	}
+	var parts []string
+	for _, e := range r.sorted() {
+		if !match(e.name) {
+			continue
+		}
+		switch m := e.m.(type) {
+		case *Counter:
+			parts = append(parts, e.name+"="+strconv.FormatInt(m.Value(), 10))
+		case *Gauge:
+			parts = append(parts, e.name+"="+formatFloat(m.Value()))
+		case *Histogram:
+			parts = append(parts, e.name+"_count="+strconv.FormatInt(m.Count(), 10))
+		case *CounterVec, *GaugeVec, *HistogramVec:
+			if v := scalarValue(e.m); v != 0 {
+				parts = append(parts, e.name+"="+formatFloat(v))
+			}
+		}
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,404 @@
+// Package metrics is a tiny, dependency-free metrics facility for the
+// reproduction's runtime components: the fleet runner, the trace
+// pipeline, the monitoring service, and the long-running commands.
+//
+// The paper's Android-MOD deployment only worked at 70M-phone scale
+// because the collection pipeline itself was continuously monitored
+// (§3.3: per-device CPU/memory/traffic budgets); this package gives the
+// simulated fleet the same property. A Registry holds named counters,
+// gauges, histograms, and labeled families of each, exposes them as
+// Prometheus text exposition or a JSON dump, and serves both over HTTP.
+//
+// Design constraints, in order:
+//
+//   - The increment path must be safe for concurrent shard workers and
+//     add zero allocations per event: counters and gauges are single
+//     atomics, histograms use fixed power-of-two buckets indexed with
+//     math.Frexp (no search, no lock, no allocation). Verified by
+//     BenchmarkCounterInc and friends.
+//   - Labeled lookups (With) take a mutex and may allocate; hot paths
+//     resolve their handles once, up front, and keep them.
+//   - No dependencies beyond the standard library.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing value. The increment path is a
+// single atomic add: safe for concurrent use, zero allocations.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n; negative deltas are ignored (counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down, stored as float64 bits in a
+// single atomic word.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add applies a delta with a CAS loop (allocation-free).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram bucket layout: fixed log-scale (power-of-two) upper bounds
+// 2^histMinExp .. 2^histMaxExp, plus an implicit +Inf overflow bucket.
+// The span covers microsecond-scale latencies through multi-gigabyte
+// byte counts without configuration.
+const (
+	histMinExp  = -20 // 2^-20 ≈ 9.5e-7
+	histMaxExp  = 30  // 2^30 ≈ 1.07e9
+	histBuckets = histMaxExp - histMinExp + 1
+)
+
+// Histogram counts observations in fixed log-scale buckets. Observe is
+// lock-free and allocation-free.
+type Histogram struct {
+	buckets [histBuckets + 1]atomic.Int64 // last bucket is +Inf overflow
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.buckets[histBucketIndex(v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// histBucketIndex maps a value to its bucket: the smallest i with
+// v <= bound(i), where bound(i) = 2^(histMinExp+i); values beyond the
+// last bound land in the overflow bucket.
+func histBucketIndex(v float64) int {
+	if v <= 0 || math.IsNaN(v) {
+		return 0
+	}
+	// Frexp gives v = frac × 2^exp with frac in [0.5, 1), so v <= 2^exp
+	// and 2^exp is the tightest power-of-two upper bound (exact powers
+	// of two return frac = 0.5, exp = log2(v)+1; bound 2×v is still
+	// correct, just one bucket up — acceptable for a log-scale sketch).
+	_, exp := math.Frexp(v)
+	switch {
+	case exp < histMinExp:
+		return 0
+	case exp > histMaxExp:
+		return histBuckets // +Inf
+	default:
+		return exp - histMinExp
+	}
+}
+
+// histBound returns bucket i's upper bound (math.Inf for the overflow).
+func histBound(i int) float64 {
+	if i >= histBuckets {
+		return math.Inf(1)
+	}
+	return math.Ldexp(1, histMinExp+i)
+}
+
+// metric is the interface expositions iterate over.
+type metric interface {
+	metricType() string // "counter" | "gauge" | "histogram"
+}
+
+func (*Counter) metricType() string   { return "counter" }
+func (*Gauge) metricType() string     { return "gauge" }
+func (*Histogram) metricType() string { return "histogram" }
+
+// family is a set of metrics of one kind distinguished by label values
+// (a Prometheus "vec"). With locks; resolve handles outside hot loops.
+type family[M metric] struct {
+	labels   []string
+	mu       sync.Mutex
+	children map[string]M
+	newChild func() M
+}
+
+func (f *family[M]) with(values []string) M {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("metrics: %d label values for %d labels %v", len(values), len(f.labels), f.labels))
+	}
+	key := labelKey(f.labels, values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[key]; ok {
+		return c
+	}
+	c := f.newChild()
+	f.children[key] = c
+	return c
+}
+
+// snapshot returns the children sorted by rendered label key.
+func (f *family[M]) snapshot() (keys []string, children []M) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	keys = make([]string, 0, len(f.children))
+	for k := range f.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	children = make([]M, len(keys))
+	for i, k := range keys {
+		children[i] = f.children[k]
+	}
+	return keys, children
+}
+
+// labelKey renders `l1="v1",l2="v2"`, which doubles as the exposition
+// form inside the braces.
+func labelKey(labels, values []string) string {
+	out := make([]byte, 0, 32)
+	for i, l := range labels {
+		if i > 0 {
+			out = append(out, ',')
+		}
+		out = append(out, l...)
+		out = append(out, '=')
+		out = strconv.AppendQuote(out, values[i])
+	}
+	return string(out)
+}
+
+// CounterVec is a labeled family of counters.
+type CounterVec struct{ f family[*Counter] }
+
+// With returns the counter for the given label values, creating it on
+// first use. Not for hot paths: resolve once and keep the handle.
+func (v *CounterVec) With(values ...string) *Counter { return v.f.with(values) }
+
+func (*CounterVec) metricType() string { return "counter" }
+
+// GaugeVec is a labeled family of gauges.
+type GaugeVec struct{ f family[*Gauge] }
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge { return v.f.with(values) }
+
+func (*GaugeVec) metricType() string { return "gauge" }
+
+// HistogramVec is a labeled family of histograms.
+type HistogramVec struct{ f family[*Histogram] }
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram { return v.f.with(values) }
+
+func (*HistogramVec) metricType() string { return "histogram" }
+
+// entry is one registered metric with its exposition metadata.
+type entry struct {
+	name string
+	help string
+	m    metric
+}
+
+// Registry holds named metrics and renders them. Registration takes a
+// lock and is expected at package init; reads (expositions) snapshot
+// under the same lock but read atomics without one.
+type Registry struct {
+	mu      sync.Mutex
+	entries []*entry
+	byName  map[string]*entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*entry)}
+}
+
+func (r *Registry) register(name, help string, m metric) {
+	if name == "" {
+		panic("metrics: empty metric name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[name]; dup {
+		panic("metrics: duplicate metric name " + name)
+	}
+	e := &entry{name: name, help: help, m: m}
+	r.byName[name] = e
+	r.entries = append(r.entries, e)
+}
+
+// NewCounter registers and returns a counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(name, help, c)
+	return c
+}
+
+// NewGauge registers and returns a gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, g)
+	return g
+}
+
+// NewHistogram registers and returns a histogram.
+func (r *Registry) NewHistogram(name, help string) *Histogram {
+	h := &Histogram{}
+	r.register(name, help, h)
+	return h
+}
+
+// NewCounterVec registers and returns a labeled counter family.
+func (r *Registry) NewCounterVec(name, help string, labels ...string) *CounterVec {
+	v := &CounterVec{f: family[*Counter]{
+		labels:   labels,
+		children: make(map[string]*Counter),
+		newChild: func() *Counter { return &Counter{} },
+	}}
+	r.register(name, help, v)
+	return v
+}
+
+// NewGaugeVec registers and returns a labeled gauge family.
+func (r *Registry) NewGaugeVec(name, help string, labels ...string) *GaugeVec {
+	v := &GaugeVec{f: family[*Gauge]{
+		labels:   labels,
+		children: make(map[string]*Gauge),
+		newChild: func() *Gauge { return &Gauge{} },
+	}}
+	r.register(name, help, v)
+	return v
+}
+
+// NewHistogramVec registers and returns a labeled histogram family.
+func (r *Registry) NewHistogramVec(name, help string, labels ...string) *HistogramVec {
+	v := &HistogramVec{f: family[*Histogram]{
+		labels:   labels,
+		children: make(map[string]*Histogram),
+		newChild: func() *Histogram { return &Histogram{} },
+	}}
+	r.register(name, help, v)
+	return v
+}
+
+// sorted returns the entries ordered by name.
+func (r *Registry) sorted() []*entry {
+	r.mu.Lock()
+	out := append([]*entry(nil), r.entries...)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Value returns the current scalar value of the named metric: a
+// counter's count, a gauge's value, a vec's sum over children, or a
+// histogram's observation count. ok is false for unknown names.
+func (r *Registry) Value(name string) (v float64, ok bool) {
+	r.mu.Lock()
+	e, ok := r.byName[name]
+	r.mu.Unlock()
+	if !ok {
+		return 0, false
+	}
+	return scalarValue(e.m), true
+}
+
+func scalarValue(m metric) float64 {
+	switch m := m.(type) {
+	case *Counter:
+		return float64(m.Value())
+	case *Gauge:
+		return m.Value()
+	case *Histogram:
+		return float64(m.Count())
+	case *CounterVec:
+		var sum float64
+		_, cs := m.f.snapshot()
+		for _, c := range cs {
+			sum += float64(c.Value())
+		}
+		return sum
+	case *GaugeVec:
+		var sum float64
+		_, gs := m.f.snapshot()
+		for _, g := range gs {
+			sum += g.Value()
+		}
+		return sum
+	case *HistogramVec:
+		var sum float64
+		_, hs := m.f.snapshot()
+		for _, h := range hs {
+			sum += float64(h.Count())
+		}
+		return sum
+	}
+	return 0
+}
+
+// std is the process-wide default registry; package-level metrics in
+// the fleet, trace, and monitor packages register here at init.
+var std = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return std }
+
+// NewCounter registers a counter on the default registry.
+func NewCounter(name, help string) *Counter { return std.NewCounter(name, help) }
+
+// NewGauge registers a gauge on the default registry.
+func NewGauge(name, help string) *Gauge { return std.NewGauge(name, help) }
+
+// NewHistogram registers a histogram on the default registry.
+func NewHistogram(name, help string) *Histogram { return std.NewHistogram(name, help) }
+
+// NewCounterVec registers a labeled counter family on the default registry.
+func NewCounterVec(name, help string, labels ...string) *CounterVec {
+	return std.NewCounterVec(name, help, labels...)
+}
+
+// NewGaugeVec registers a labeled gauge family on the default registry.
+func NewGaugeVec(name, help string, labels ...string) *GaugeVec {
+	return std.NewGaugeVec(name, help, labels...)
+}
+
+// NewHistogramVec registers a labeled histogram family on the default registry.
+func NewHistogramVec(name, help string, labels ...string) *HistogramVec {
+	return std.NewHistogramVec(name, help, labels...)
+}

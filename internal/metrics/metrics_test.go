@@ -1,0 +1,218 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// testRegistry builds a registry with one of everything, with known
+// values, shared by the exposition tests.
+func testRegistry() *Registry {
+	r := NewRegistry()
+	c := r.NewCounter("test_requests_total", "Requests handled.")
+	g := r.NewGauge("test_queue_depth", "Current queue depth.")
+	v := r.NewCounterVec("test_filtered_total", "Filtered by class.", "class")
+	h := r.NewHistogram("test_latency_seconds", "Request latency.")
+	c.Add(3)
+	g.Set(7.5)
+	v.With("dns").Add(2)
+	v.With("balance").Inc()
+	h.Observe(0.75)
+	h.Observe(0.75)
+	h.Observe(3)
+	return r
+}
+
+// TestPrometheusExposition is the golden-text test for the counter,
+// gauge, labeled-family, and histogram renderings.
+func TestPrometheusExposition(t *testing.T) {
+	var sb strings.Builder
+	if err := testRegistry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP test_filtered_total Filtered by class.
+# TYPE test_filtered_total counter
+test_filtered_total{class="balance"} 1
+test_filtered_total{class="dns"} 2
+# HELP test_latency_seconds Request latency.
+# TYPE test_latency_seconds histogram
+test_latency_seconds_bucket{le="1"} 2
+test_latency_seconds_bucket{le="4"} 3
+test_latency_seconds_bucket{le="+Inf"} 3
+test_latency_seconds_sum 4.5
+test_latency_seconds_count 3
+# HELP test_queue_depth Current queue depth.
+# TYPE test_queue_depth gauge
+test_queue_depth 7.5
+# HELP test_requests_total Requests handled.
+# TYPE test_requests_total counter
+test_requests_total 3
+`
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestJSONDump(t *testing.T) {
+	var sb strings.Builder
+	if err := testRegistry().WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &out); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if v := out["test_requests_total"]["value"]; v != float64(3) {
+		t.Errorf("test_requests_total = %v, want 3", v)
+	}
+	if v := out["test_queue_depth"]["value"]; v != 7.5 {
+		t.Errorf("test_queue_depth = %v, want 7.5", v)
+	}
+	vals, ok := out["test_filtered_total"]["values"].(map[string]any)
+	if !ok || vals[`class="dns"`] != float64(2) {
+		t.Errorf("test_filtered_total values = %v", out["test_filtered_total"])
+	}
+	hist, ok := out["test_latency_seconds"]["value"].(map[string]any)
+	if !ok || hist["count"] != float64(3) || hist["sum"] != 4.5 {
+		t.Errorf("test_latency_seconds = %v", out["test_latency_seconds"])
+	}
+}
+
+// TestHandler exercises the /metrics endpoint in both formats.
+func TestHandler(t *testing.T) {
+	srv := httptest.NewServer(testRegistry().Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q, want text/plain", ct)
+	}
+	for _, want := range []string{
+		"# TYPE test_requests_total counter",
+		"test_requests_total 3",
+		`test_latency_seconds_bucket{le="+Inf"} 3`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("text exposition missing %q:\n%s", want, body)
+		}
+	}
+
+	resp, err = srv.Client().Get(srv.URL + "/metrics?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q, want application/json", ct)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("JSON endpoint returned invalid JSON: %v", err)
+	}
+}
+
+// TestConcurrentIncrements hammers every metric kind from many
+// goroutines; run under -race in CI.
+func TestConcurrentIncrements(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c", "")
+	g := r.NewGauge("g", "")
+	h := r.NewHistogram("h", "")
+	v := r.NewCounterVec("v", "", "worker")
+
+	const workers, iters = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mine := v.With(string(rune('a' + w)))
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i))
+				mine.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != workers*iters {
+		t.Errorf("counter = %d, want %d", got, workers*iters)
+	}
+	if got := g.Value(); got != workers*iters {
+		t.Errorf("gauge = %v, want %d", got, workers*iters)
+	}
+	if got := h.Count(); got != workers*iters {
+		t.Errorf("histogram count = %d, want %d", got, workers*iters)
+	}
+	var sum int64
+	_, cs := v.f.snapshot()
+	for _, child := range cs {
+		sum += child.Value()
+	}
+	if sum != workers*iters {
+		t.Errorf("vec sum = %d, want %d", sum, workers*iters)
+	}
+}
+
+func TestValueAndSummary(t *testing.T) {
+	r := testRegistry()
+	if v, ok := r.Value("test_requests_total"); !ok || v != 3 {
+		t.Errorf("Value(test_requests_total) = %v, %v", v, ok)
+	}
+	if v, ok := r.Value("test_filtered_total"); !ok || v != 3 {
+		t.Errorf("Value(test_filtered_total) = %v, %v (want sum over children = 3)", v, ok)
+	}
+	if _, ok := r.Value("nope"); ok {
+		t.Error("Value(nope) reported ok")
+	}
+	sum := r.Summary("test_requests_", "test_queue_")
+	if sum != "test_queue_depth=7.5 test_requests_total=3" {
+		t.Errorf("Summary = %q", sum)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		v     float64
+		bound float64
+	}{
+		{0, math.Ldexp(1, histMinExp)},    // non-positive → first bucket
+		{-3, math.Ldexp(1, histMinExp)},   // negative → first bucket
+		{1e-9, math.Ldexp(1, histMinExp)}, // below span → first bucket
+		{0.75, 1},                         // frac in (0.5,1)
+		{1, 2},                            // exact power of two rounds up one bucket
+		{1e12, math.Inf(1)},               // beyond span → overflow
+		{math.NaN(), math.Ldexp(1, histMinExp)},
+	}
+	for _, tc := range cases {
+		got := histBound(histBucketIndex(tc.v))
+		if got != tc.bound && !(math.IsInf(got, 1) && math.IsInf(tc.bound, 1)) {
+			t.Errorf("bucket bound for %v = %v, want %v", tc.v, got, tc.bound)
+		}
+	}
+}
+
+func TestDuplicateNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.NewCounter("dup", "")
+	r.NewCounter("dup", "")
+}

@@ -1,0 +1,34 @@
+package monitor
+
+import (
+	"repro/internal/failure"
+	"repro/internal/metrics"
+)
+
+// Monitoring-service metrics: recorded vs. filtered event counts (the
+// latter labeled by false-positive class), probe activity, and stall
+// measurements. All devices across all shards share these counters, so
+// the handles are resolved once at init and the per-event path is a
+// single atomic add.
+var (
+	mRecorded = metrics.NewCounter("monitor_events_recorded_total",
+		"True failure events recorded after false-positive filtering.")
+	mFiltered = metrics.NewCounterVec("monitor_events_filtered_total",
+		"Suspicious events discarded as false positives, by class.", "class")
+	mProbeRounds = metrics.NewCounter("monitor_probe_rounds_total",
+		"Network-state probing rounds issued during stall measurement.")
+	mStallsMeasured = metrics.NewCounter("monitor_stalls_measured_total",
+		"Data_Stall episodes whose duration was measured to completion.")
+	mLegacyFallbacks = metrics.NewCounter("monitor_legacy_fallbacks_total",
+		"Probing sessions that reverted to the legacy one-minute cadence.")
+
+	// mFilteredByClass pre-resolves one handle per class so the filter
+	// path never touches the family map.
+	mFilteredByClass [failure.NumFalsePositiveClasses]*metrics.Counter
+)
+
+func init() {
+	for c := failure.FalsePositiveClass(0); c < failure.NumFalsePositiveClasses; c++ {
+		mFilteredByClass[c] = mFiltered.With(c.String())
+	}
+}

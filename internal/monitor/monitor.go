@@ -179,6 +179,7 @@ func (s *Service) OnSetupEpisode(cause telephony.FailCause, attempts int, durati
 	if fp := failure.ClassifySetupError(cause); fp != failure.FPNone && !s.cfg.DisableFiltering {
 		s.stats.FilteredSetup++
 		s.stats.ByFPClass[fp]++
+		mFilteredByClass[fp].Inc()
 		s.overhead.CPUBusy += filteredCPUCost
 		return
 	}
@@ -239,10 +240,12 @@ func (s *Service) AbortStall() {
 
 func (s *Service) probeDone(out netprobe.Outcome) {
 	s.stats.ProbeRounds += out.Rounds
+	mProbeRounds.Add(int64(out.Rounds))
 	s.overhead.CPUBusy += time.Duration(out.Rounds) * probeRoundCPU
 	s.overhead.NetworkBytes += int64(out.Rounds * probeRoundWire * s.numDNS())
 	if out.RevertedToLegacy {
 		s.stats.LegacyFallbacks++
+		mLegacyFallbacks.Inc()
 	}
 	switch out.Verdict {
 	case netprobe.VerdictSystemSideFP, netprobe.VerdictDNSFP:
@@ -253,13 +256,16 @@ func (s *Service) probeDone(out netprobe.Outcome) {
 		}
 		if out.Verdict == netprobe.VerdictSystemSideFP {
 			s.stats.ByFPClass[failure.FPSystemSide]++
+			mFilteredByClass[failure.FPSystemSide].Inc()
 		} else {
 			s.stats.ByFPClass[failure.FPDNSOnly]++
+			mFilteredByClass[failure.FPDNSOnly].Inc()
 		}
 		s.stats.FilteredStalls++
 		s.endStallEpisode()
 	case netprobe.VerdictRecovered:
 		s.stats.StallsMeasured++
+		mStallsMeasured.Inc()
 		by := s.stallResolution.By
 		if by == android.ResolvedNone {
 			by = android.ResolvedAuto
@@ -325,6 +331,7 @@ func (s *Service) record(e failure.Event) {
 	}
 
 	s.stats.Recorded++
+	mRecorded.Inc()
 	s.overhead.CPUBusy += eventCPUCost
 	s.overhead.FailureTime += e.Duration
 	s.overhead.StorageBytes += eventStorage

@@ -216,9 +216,9 @@ type DNSServerMode int
 
 // Test-server behaviours mirroring the stall fault classes.
 const (
-	DNSAnswer  DNSServerMode = iota // resolve normally
-	DNSFail                         // respond SERVFAIL (resolution unavailable)
-	DNSSilent                       // reachable transport, no response
+	DNSAnswer DNSServerMode = iota // resolve normally
+	DNSFail                        // respond SERVFAIL (resolution unavailable)
+	DNSSilent                      // reachable transport, no response
 )
 
 // TestDNSServer is a minimal UDP DNS server for exercising the live

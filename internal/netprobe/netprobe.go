@@ -277,10 +277,10 @@ func (p *Prober) round() {
 		n = 1
 	}
 	var (
-		pending      = 1 + 2*n
-		loopbackOK   bool
-		icmpOK       int
-		dnsOK        int
+		pending    = 1 + 2*n
+		loopbackOK bool
+		icmpOK     int
+		dnsOK      int
 	)
 	complete := func() {
 		if !p.active {

@@ -134,6 +134,12 @@ func (s *Scheduler) RunAll() int {
 // Halt stops a Run/RunAll in progress after the current event returns.
 func (s *Scheduler) Halt() { s.halted = true }
 
+// QueueLen returns the raw event-queue length, including stopped-but-
+// unpopped timers. Unlike Pending it is O(1), so instrumentation (the
+// fleet's per-shard queue-depth gauge) can sample it every simulated
+// hour without scanning the heap.
+func (s *Scheduler) QueueLen() int { return len(s.queue) }
+
 // Pending returns the number of pending (not stopped) events.
 func (s *Scheduler) Pending() int {
 	n := 0

@@ -8,9 +8,9 @@ import (
 
 func TestRATStringAndGeneration(t *testing.T) {
 	cases := []struct {
-		rat  RAT
-		s    string
-		gen  int
+		rat RAT
+		s   string
+		gen int
 	}{
 		{RAT2G, "2G", 2}, {RAT3G, "3G", 3}, {RAT4G, "4G", 4}, {RAT5G, "5G", 5},
 		{RATUnknown, "unknown", 0}, {RAT(99), "unknown", 0},

@@ -1,0 +1,30 @@
+package trace
+
+import "repro/internal/metrics"
+
+// Trace-pipeline metrics: the device-side uploader and the backend
+// collector. Counters are process-wide (all uploaders/collectors in the
+// process share them), matching how a deployment would scrape one
+// exporter per process.
+var (
+	mUpBatches = metrics.NewCounter("trace_uploader_batches_total",
+		"Batches successfully uploaded and acknowledged.")
+	mUpEvents = metrics.NewCounter("trace_uploader_events_total",
+		"Events successfully uploaded.")
+	mUpBytes = metrics.NewCounter("trace_uploader_bytes_total",
+		"Wire bytes successfully uploaded (post-compression).")
+	mUpRetries = metrics.NewCounter("trace_uploader_flush_retries_total",
+		"Flush attempts that failed (dial, write, or ack), leaving events buffered for retry.")
+	mColBatches = metrics.NewCounter("trace_collector_batches_accepted_total",
+		"Batches decoded, stored, and acknowledged by collectors.")
+	mColEvents = metrics.NewCounter("trace_collector_events_decoded_total",
+		"Events decoded out of accepted batches.")
+	mColDropped = metrics.NewCounter("trace_collector_batches_dropped_total",
+		"Connections dropped on a malformed or truncated batch read.")
+	mColRxBytes = metrics.NewCounter("trace_collector_rx_bytes_total",
+		"Approximate payload bytes received by collectors.")
+	mDatasetEvents = metrics.NewGauge("trace_dataset_events",
+		"Events in the serving process's primary dataset (set by collectors and cellserve).")
+	mUploadSeconds = metrics.NewHistogram("trace_upload_seconds",
+		"Wall-clock seconds per successful batch upload (dial through ack).")
+)

@@ -140,6 +140,11 @@ func (d *Dataset) Each(fn func(*failure.Event)) {
 	}
 }
 
+// ExposeSize publishes the dataset's current length on the
+// trace_dataset_events gauge. Collectors do this automatically as
+// batches arrive; snapshot servers (cellserve) call it once on load.
+func (d *Dataset) ExposeSize() { mDatasetEvents.Set(float64(d.Len())) }
+
 // Events returns a copy of all stored events.
 func (d *Dataset) Events() []failure.Event {
 	d.mu.RLock()
@@ -276,9 +281,18 @@ func (c *Collector) serve(conn net.Conn) {
 	for {
 		b, err := ReadBatch(br)
 		if err != nil {
-			return // EOF or malformed stream: drop the connection
+			if err != io.EOF {
+				// Malformed or truncated stream: drop the connection
+				// (clean EOF at a batch boundary is not a drop).
+				mColDropped.Inc()
+			}
+			return
 		}
 		c.ds.Append(b.Events...)
+		mColBatches.Inc()
+		mColEvents.Add(int64(len(b.Events)))
+		mColRxBytes.Add(int64(approxBatchSize(b)))
+		mDatasetEvents.Set(float64(c.ds.Len()))
 		c.mu.Lock()
 		c.batches++
 		c.rxBytes += int64(approxBatchSize(b))
@@ -322,6 +336,7 @@ type Uploader struct {
 	wifi      bool
 	sentBytes int64
 	uploads   int
+	retries   int
 }
 
 // NewUploader creates an uploader for a device targeting the collector at
@@ -359,6 +374,14 @@ func (u *Uploader) SentBytes() int64 {
 	return u.sentBytes
 }
 
+// FlushRetries returns how many Flush attempts failed on the network
+// (events stayed buffered and were retried later).
+func (u *Uploader) FlushRetries() int {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.retries
+}
+
 // SetWiFi updates connectivity; gaining WiFi flushes the buffer.
 func (u *Uploader) SetWiFi(on bool) {
 	u.mu.Lock()
@@ -386,20 +409,28 @@ func (u *Uploader) Flush() error {
 	batch := &Batch{DeviceID: u.deviceID, Events: u.pending}
 	u.mu.Unlock()
 
+	start := time.Now()
 	conn, err := net.Dial("tcp", u.addr)
 	if err != nil {
+		u.noteRetry()
 		return fmt.Errorf("trace: dial collector: %w", err)
 	}
 	defer conn.Close()
 	conn.SetDeadline(time.Now().Add(30 * time.Second))
 	n, err := WriteBatch(conn, batch)
 	if err != nil {
+		u.noteRetry()
 		return fmt.Errorf("trace: upload: %w", err)
 	}
 	var ack [1]byte
 	if _, err := io.ReadFull(conn, ack[:]); err != nil || ack[0] != batchAck {
+		u.noteRetry()
 		return fmt.Errorf("trace: collector did not acknowledge batch: %w", err)
 	}
+	mUpBatches.Inc()
+	mUpEvents.Add(int64(len(batch.Events)))
+	mUpBytes.Add(int64(n))
+	mUploadSeconds.Observe(time.Since(start).Seconds())
 	u.mu.Lock()
 	u.sentBytes += int64(n)
 	u.uploads++
@@ -407,6 +438,15 @@ func (u *Uploader) Flush() error {
 	u.pending = u.pending[len(batch.Events):]
 	u.mu.Unlock()
 	return nil
+}
+
+// noteRetry accounts a failed network flush: the events stay buffered,
+// so a later Flush will retry them.
+func (u *Uploader) noteRetry() {
+	mUpRetries.Inc()
+	u.mu.Lock()
+	u.retries++
+	u.mu.Unlock()
 }
 
 // Filter returns a new dataset with the events matching pred.
