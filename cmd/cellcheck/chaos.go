@@ -1,0 +1,151 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/failure"
+	"repro/internal/faultinject"
+	"repro/internal/fleet"
+)
+
+// runChaos executes `cellcheck chaos`: a calm baseline run, the same
+// scenario under a fault campaign, and the recovery invariants that make
+// fault injection trustworthy as a regression harness:
+//
+//	I1  every injected outage resolves — per rule, at least one episode ran
+//	    (for episode-bearing classes) and injected == recovered.
+//	I2  no device wedges outside the Figure-1 state machine — the data
+//	    connection of every device ends in Inactive or Active and no setup
+//	    episode is left in flight.
+//	I3  the failure-class mix shifts in the expected direction — for each
+//	    fault class in the campaign, the faulted run records at least as
+//	    many events of the class's failure kind as the calm baseline.
+func runChaos(args []string) {
+	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
+	var (
+		devices = fs.Int("devices", 2000, "fleet size")
+		seed    = fs.Int64("seed", 7, "simulation seed")
+		workers = fs.Int("workers", 8, "worker shards")
+		months  = fs.Float64("months", 4, "measurement window in months")
+		faults  = fs.String("faults", "", "JSON fault-campaign file (default: the bundled BS-blackout campaign)")
+	)
+	_ = fs.Parse(args)
+
+	scenario := fleet.Scenario{
+		Seed:       *seed,
+		NumDevices: *devices,
+		Workers:    *workers,
+		Window:     time.Duration(*months * 30 * 24 * float64(time.Hour)),
+	}
+
+	var campaign *faultinject.Campaign
+	if *faults != "" {
+		var err error
+		campaign, err = faultinject.LoadCampaign(*faults)
+		if err != nil {
+			log.Fatalf("cellcheck chaos: %v", err)
+		}
+	} else {
+		campaign = faultinject.DefaultBlackoutCampaign(scenario.Window)
+	}
+
+	fmt.Printf("chaos: campaign %q over %d devices, %.1f months, seed %d\n",
+		campaign.Name, scenario.NumDevices, scenario.Window.Hours()/24/30, scenario.Seed)
+
+	baseline, err := fleet.Run(scenario)
+	if err != nil {
+		log.Fatalf("cellcheck chaos: baseline run: %v", err)
+	}
+	faulted := scenario
+	faulted.Faults = campaign
+	res, err := fleet.Run(faulted)
+	if err != nil {
+		log.Fatalf("cellcheck chaos: faulted run: %v", err)
+	}
+
+	fmt.Printf("%s\n", res.Faults)
+
+	checks := chaosInvariants(campaign, baseline, res)
+	failures := 0
+	for _, c := range checks {
+		status := "PASS"
+		if !c.pass {
+			status = "FAIL"
+			failures++
+		}
+		fmt.Printf("[%s] %-14s %s — %s\n", status, c.id, c.text, c.detail)
+	}
+	if failures > 0 {
+		fmt.Printf("chaos: %d/%d invariants failed\n", failures, len(checks))
+		os.Exit(1)
+	}
+	fmt.Printf("chaos: all %d invariants hold\n", len(checks))
+}
+
+type chaosCheck struct {
+	id     string
+	text   string
+	pass   bool
+	detail string
+}
+
+func chaosInvariants(campaign *faultinject.Campaign, baseline, res *fleet.Result) []chaosCheck {
+	var checks []chaosCheck
+
+	// I1: per-rule episode accounting.
+	byName := make(map[string]faultinject.RuleReport)
+	for _, rr := range res.Faults.Rules {
+		byName[rr.Name] = rr
+	}
+	for _, rule := range campaign.Rules {
+		rr := byName[rule.Name]
+		_, bearing := rule.Class.ExpectedKind()
+		pass := rr.Injected == rr.Recovered && (!bearing || rr.Injected > 0)
+		checks = append(checks, chaosCheck{
+			id:   "I1/" + rule.Name,
+			text: "every injected outage resolves",
+			pass: pass,
+			detail: fmt.Sprintf("injected=%d recovered=%d dropped=%d",
+				rr.Injected, rr.Recovered, rr.Dropped),
+		})
+	}
+
+	// I2: state-machine integrity.
+	checks = append(checks, chaosCheck{
+		id:   "I2/integrity",
+		text: "no device wedges outside the Figure-1 state machine",
+		pass: res.Integrity.Clean(),
+		detail: fmt.Sprintf("wedged=%d open-setups=%d open-episodes=%d",
+			res.Integrity.Wedged, res.Integrity.OpenSetups, res.Integrity.OpenEpisodes),
+	})
+
+	// I3: the failure-class mix shifts toward the injected classes.
+	baseKinds := kindCounts(baseline)
+	faultKinds := kindCounts(res)
+	seenKind := map[failure.Kind]bool{}
+	for _, rule := range campaign.Rules {
+		kind, ok := rule.Class.ExpectedKind()
+		if !ok || seenKind[kind] {
+			continue
+		}
+		seenKind[kind] = true
+		checks = append(checks, chaosCheck{
+			id:   "I3/" + kind.String(),
+			text: "failure-class mix shifts in the expected direction",
+			pass: faultKinds[kind] > baseKinds[kind],
+			detail: fmt.Sprintf("baseline=%d faulted=%d",
+				baseKinds[kind], faultKinds[kind]),
+		})
+	}
+	return checks
+}
+
+func kindCounts(res *fleet.Result) map[failure.Kind]int {
+	out := make(map[failure.Kind]int)
+	res.Dataset.Each(func(e *failure.Event) { out[e.Kind]++ })
+	return out
+}

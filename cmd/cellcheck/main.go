@@ -1,11 +1,15 @@
 // Command cellcheck is the reproduction scorecard: it simulates a vanilla
 // measurement fleet (or loads a snapshot) and verifies every checkable
-// claim of the paper against the dataset, claim by claim.
+// claim of the paper against the dataset, claim by claim. The chaos
+// subcommand instead runs a fault campaign and asserts the recovery
+// invariants (see runChaos).
 //
 // Usage:
 //
 //	cellcheck -devices 4000 -seed 7
 //	cellcheck -in run.snap.gz
+//	cellcheck chaos                          # bundled BS-blackout campaign
+//	cellcheck chaos -faults campaign.json -devices 3000
 package main
 
 import (
@@ -20,6 +24,10 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	if len(os.Args) > 1 && os.Args[1] == "chaos" {
+		runChaos(os.Args[2:])
+		return
+	}
 	var (
 		devices = flag.Int("devices", 4000, "fleet size (ignored with -in)")
 		seed    = flag.Int64("seed", 7, "simulation seed")

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/android"
+	"repro/internal/faultinject"
 	"repro/internal/fleet"
 	"repro/internal/metrics"
 )
@@ -37,6 +38,7 @@ func main() {
 		numBS    = flag.Int("bs", 0, "base stations (default devices/2)")
 		workers  = flag.Int("workers", 8, "simulation worker shards")
 		patched  = flag.Bool("patched", false, "enable the §4.2 enhancements (stability-compatible RAT policy, dual connectivity, TIMP trigger)")
+		faults   = flag.String("faults", "", "JSON fault-campaign file to superimpose on the run (see internal/faultinject)")
 		upload   = flag.String("upload", "", "collector address to upload events to over TCP")
 		out      = flag.String("o", "run.snap.gz", "output snapshot path (empty to skip)")
 		progress = flag.Duration("progress", 0, "print periodic progress (devices done, events/sec) to stderr; 0 disables")
@@ -62,6 +64,13 @@ func main() {
 		if *patched {
 			scenario = scenario.Patched(android.PaperTIMPTrigger)
 		}
+	}
+	if *faults != "" {
+		campaign, err := faultinject.LoadCampaign(*faults)
+		if err != nil {
+			log.Fatalf("cellsim: %v", err)
+		}
+		scenario.Faults = campaign
 	}
 
 	var stopProgress chan struct{}
@@ -89,6 +98,10 @@ func main() {
 	fmt.Printf("overhead: mean CPU %.3f%%, max CPU %.3f%%, max storage %d B, max net %d B\n",
 		res.Overhead.MeanCPUUtilization*100, res.Overhead.MaxCPUUtilization*100,
 		res.Overhead.MaxStorageBytes, res.Overhead.MaxNetworkBytes)
+	if res.Faults != nil {
+		fmt.Printf("faults: %s\n  unresolved=%d wedged=%d open-setups=%d\n",
+			res.Faults, res.Faults.Unresolved(), res.Integrity.Wedged, res.Integrity.OpenSetups)
+	}
 
 	// One-line runtime metrics summary on stderr: the same counters the
 	// /metrics endpoints export, so scripted runs can grep pipeline
@@ -96,7 +109,7 @@ func main() {
 	// standing up an HTTP listener.
 	simEvents, _ := metrics.Default().Value("fleet_sim_events_total")
 	fmt.Fprintf(os.Stderr, "metrics: %s sim_events/s=%.0f\n",
-		metrics.Default().Summary("fleet_", "monitor_", "trace_"), simEvents/elapsed.Seconds())
+		metrics.Default().Summary("fleet_", "monitor_", "trace_", "faultinject_"), simEvents/elapsed.Seconds())
 
 	if *out != "" {
 		if err := fleet.SaveResult(*out, res); err != nil {

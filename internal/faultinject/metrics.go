@@ -1,0 +1,31 @@
+package faultinject
+
+import "repro/internal/metrics"
+
+// Runtime telemetry for fault campaigns, following the repo's metrics
+// discipline: the labeled handles are resolved once at init (With locks),
+// so the Note* calls on the episode path are single atomic adds.
+var (
+	mCampaigns = metrics.NewCounter("faultinject_campaigns_compiled_total",
+		"Fault campaigns compiled into injectors.")
+	mInjectedVec = metrics.NewCounterVec("faultinject_injected_total",
+		"Fault episodes that started executing on a device, by fault class.", "class")
+	mRecoveredVec = metrics.NewCounterVec("faultinject_recovered_total",
+		"Injected fault episodes that ran to conclusion, by fault class.", "class")
+	mDroppedVec = metrics.NewCounterVec("faultinject_dropped_total",
+		"Planned fault episodes that never started (saturated device, event cap, no serving BS), by fault class.", "class")
+	mActive = metrics.NewGauge("faultinject_active",
+		"Injected fault episodes currently in flight across all campaigns.")
+
+	mInjected  [NumClasses]*metrics.Counter
+	mRecovered [NumClasses]*metrics.Counter
+	mDropped   [NumClasses]*metrics.Counter
+)
+
+func init() {
+	for c := Class(0); c < NumClasses; c++ {
+		mInjected[c] = mInjectedVec.With(c.String())
+		mRecovered[c] = mRecoveredVec.With(c.String())
+		mDropped[c] = mDroppedVec.With(c.String())
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/android"
 	"repro/internal/device"
 	"repro/internal/failure"
+	"repro/internal/faultinject"
 	"repro/internal/geo"
 	"repro/internal/monitor"
 	"repro/internal/netprobe"
@@ -26,6 +27,15 @@ type plannedEpisode struct {
 	// fp marks a false-positive episode: a suspicious event the monitor
 	// must filter rather than record.
 	fp bool
+	// fault tags an episode injected by a campaign rule; its life cycle
+	// (injected/recovered/dropped) is accounted on the rule.
+	fault *faultinject.ActiveRule
+	// cause forces the setup fail cause for setup-storm episodes
+	// (CauseNone: sample from the environment mix).
+	cause telephony.FailCause
+	// dur pre-samples a fault episode's duration (stall auto-fix or OOS
+	// span), capped so the episode concludes inside the run's slack.
+	dur time.Duration
 }
 
 // actor is one simulated Android-MOD device.
@@ -39,6 +49,13 @@ type actor struct {
 	scen  *Scenario
 	cal   *Calibration
 	net   *simnet.Network
+
+	// inj is the compiled fault campaign (nil for calm runs); fr is the
+	// device's dedicated fault stream. Keeping fault draws off the base
+	// stream r means a campaign perturbs organic planning only through
+	// the environment, never through RNG alignment.
+	inj *faultinject.Injector
+	fr  *rng.Source
 
 	intensity device.Intensity
 	policy    android.RATPolicy
@@ -72,6 +89,11 @@ type actor struct {
 	stallAutoFix    time.Duration
 	// active Out_of_Service episode context.
 	oosTransition *failure.TransitionInfo
+	// campaign rules behind in-flight fault episodes, for life-cycle
+	// accounting at conclusion.
+	setupFault *faultinject.ActiveRule
+	stallFault *faultinject.ActiveRule
+	oosFault   *faultinject.ActiveRule
 
 	events int
 
@@ -168,7 +190,7 @@ func (e opExec) Execute(op android.RecoveryOp, done func(bool)) {
 
 // newActor builds a device and plans its episodes. The dwell chain runs
 // immediately (it is pure accounting); episodes are scheduled on the clock.
-func newActor(id uint64, m device.Model, clock *simclock.Scheduler, r *rng.Source, scen *Scenario, net *simnet.Network, shard *shardState) *actor {
+func newActor(id uint64, m device.Model, clock *simclock.Scheduler, r *rng.Source, scen *Scenario, net *simnet.Network, shard *shardState, inj *faultinject.Injector) *actor {
 	a := &actor{
 		id:    id,
 		model: m,
@@ -178,6 +200,13 @@ func newActor(id uint64, m device.Model, clock *simclock.Scheduler, r *rng.Sourc
 		cal:   scen.Calibration,
 		net:   net,
 		shard: shard,
+		inj:   inj,
+	}
+	if inj != nil {
+		// The fault stream is keyed on the device index, not the shard, so
+		// campaign decisions are worker-count-independent like everything
+		// else.
+		a.fr = rng.SplitIndexed(scen.Seed, "faultinject", int(id-1))
 	}
 	a.isp = sampleISP(r)
 	// ISP quality modulates both whether a device fails at all and how
@@ -229,6 +258,10 @@ func newActor(id uint64, m device.Model, clock *simclock.Scheduler, r *rng.Sourc
 		OnOutOfServiceEnd: func(d time.Duration) {
 			a.mon.OnOutOfService(d, a.oosTransition)
 			a.oosTransition = nil
+			if a.oosFault != nil {
+				a.oosFault.NoteRecovered()
+				a.oosFault = nil
+			}
 			a.busy = false
 			a.events++
 		},
@@ -305,12 +338,30 @@ func (a *actor) accountPopulation() {
 
 // candidateOptions samples the camping choices visible at a location.
 func (a *actor) candidateOptions(r *rng.Source, region geo.Region) ([]simnet.Attachment, []android.RATOption) {
-	return sampleCandidates(a.net, r, a.isp, a.model.FiveG, region)
+	return a.candidateOptionsAt(r, region, 0)
+}
+
+// candidateOptionsAt samples the camping choices visible at a location at
+// a virtual time, applying the fault campaign's condition overrides (RSS
+// degradation, RAT downgrades) when one is active.
+func (a *actor) candidateOptionsAt(r *rng.Source, region geo.Region, at time.Duration) ([]simnet.Attachment, []android.RATOption) {
+	var ov simnet.Overlay
+	if a.inj != nil {
+		ov = a.inj
+	}
+	return sampleCandidatesAt(a.net, r, a.isp, a.model.FiveG, region, at, ov)
 }
 
 // sampleCandidates draws the camping choices visible to a device of the
-// given capability at a location.
+// given capability at a location, in the calm environment.
 func sampleCandidates(net *simnet.Network, r *rng.Source, isp simnet.ISPID, fiveG bool, region geo.Region) ([]simnet.Attachment, []android.RATOption) {
+	return sampleCandidatesAt(net, r, isp, fiveG, region, 0, nil)
+}
+
+// sampleCandidatesAt is sampleCandidates under a fault overlay: sampled
+// levels are shifted and blocked RATs fall back exactly as the network
+// would present them at virtual time at.
+func sampleCandidatesAt(net *simnet.Network, r *rng.Source, isp simnet.ISPID, fiveG bool, region geo.Region, at time.Duration, ov simnet.Overlay) ([]simnet.Attachment, []android.RATOption) {
 	wants := []telephony.RAT{telephony.RAT4G, telephony.RAT2G, telephony.RAT3G}
 	if fiveG {
 		wants = append(wants, telephony.RAT5G)
@@ -319,7 +370,7 @@ func sampleCandidates(net *simnet.Network, r *rng.Source, isp simnet.ISPID, five
 	var opts []android.RATOption
 	seen := map[telephony.RAT]bool{}
 	for _, w := range wants {
-		att, err := net.Attach(r, isp, region, w)
+		att, err := net.AttachAt(r, isp, region, w, at, ov)
 		if err != nil {
 			continue
 		}
@@ -429,8 +480,9 @@ func (a *actor) dwellChainAndPlan() []plannedEpisode {
 	hasPrev := false
 	mobility := geo.NewMobility(a.r)
 	for i := 0; i < k; i++ {
+		slotStart := time.Duration(i) * slot
 		region := mobility.Next(a.r)
-		atts, opts := a.candidateOptions(a.r, region)
+		atts, opts := a.candidateOptionsAt(a.r, region, slotStart)
 		var choice int
 		if hasPrev {
 			// The current serving cell sometimes remains reachable after
@@ -445,6 +497,44 @@ func (a *actor) dwellChainAndPlan() []plannedEpisode {
 			choice = a.policy.Select(nil, opts)
 		}
 		att := atts[choice]
+
+		// A campaign blackout/flap takes the chosen BS out of service: the
+		// device suffers an observable Out_of_Service episode against the
+		// downed camp, then re-camps on whichever already-sampled candidate
+		// survives (no redraws, so the base stream stays aligned).
+		if a.inj != nil && att.BS != nil {
+			if dr := a.inj.DownRuleFor(att.BS, slotStart); dr != nil {
+				downAtt := att
+				lo, hi := maxDur(slotStart, dr.Start), minDur(slotStart+slot, dr.End())
+				if hi > lo {
+					at := lo + time.Duration(a.fr.Float64()*float64(hi-lo))
+					planned = append(planned, plannedEpisode{
+						at:    at,
+						kind:  failure.OutOfService,
+						att:   &downAtt,
+						fault: dr,
+						dur:   a.cappedFaultDur(a.cal.SampleOOSDuration(a.fr), at),
+					})
+				}
+				var aliveAtts []simnet.Attachment
+				var aliveOpts []android.RATOption
+				for j := range atts {
+					if atts[j].BS != nil && a.inj.BSDown(atts[j].BS, slotStart) {
+						continue
+					}
+					aliveAtts = append(aliveAtts, atts[j])
+					aliveOpts = append(aliveOpts, opts[j])
+				}
+				switch {
+				case len(aliveAtts) == 0:
+					att = simnet.Attachment{} // dead camp: nothing reachable
+				case hasPrev:
+					att = aliveAtts[a.policy.Select(cur, aliveOpts)]
+				default:
+					att = aliveAtts[a.policy.Select(nil, aliveOpts)]
+				}
+			}
+		}
 		a.accountDwell(att, slot)
 		if att.BS != nil {
 			w := att.BS.Region.Profile().DwellFactor * a.net.Hazard(a.isp, att)
@@ -488,10 +578,45 @@ func (a *actor) dwellChainAndPlan() []plannedEpisode {
 			a.applyContext(att)
 		}
 
+		// Campaign storms: a device camped under a matching selector while
+		// a setup-storm or stall-storm rule is active suffers extra
+		// episodes, Poisson-scaled by the slot's overlap with the rule
+		// window. All draws come from the fault stream.
+		if a.inj != nil && att.BS != nil {
+			for _, ar := range a.inj.StormRules() {
+				if !ar.Sel.MatchCamp(a.isp, att) {
+					continue
+				}
+				lo, hi := maxDur(slotStart, ar.Start), minDur(slotStart+slot, ar.End())
+				if hi <= lo {
+					continue
+				}
+				mean := ar.Intensity * float64(hi-lo) / float64(ar.Window)
+				attCopy := att
+				neglect := att.BS.Region.Profile().NeglectFactor
+				for n := device.Poisson(a.fr, mean); n > 0; n-- {
+					ep := plannedEpisode{
+						at:    lo + time.Duration(a.fr.Float64()*float64(hi-lo)),
+						kind:  failure.DataStall,
+						att:   &attCopy,
+						fault: ar,
+					}
+					if ar.Class == faultinject.ClassSetupStorm {
+						ep.kind = failure.DataSetupError
+						if c, ok := ar.SampleCause(a.fr); ok {
+							ep.cause = c
+						}
+					} else {
+						ep.dur = a.cappedFaultDur(a.cal.SampleStallAutoFix(a.fr, neglect), ep.at)
+					}
+					planned = append(planned, ep)
+				}
+			}
+		}
+
 		// Injected regional outages: a device present in the region while
 		// its infrastructure is down suffers extra stall episodes.
 		if att.BS != nil {
-			slotStart := time.Duration(i) * slot
 			for _, out := range a.scen.Outages {
 				if att.BS.Region != out.Region || out.EpisodesPerDevice <= 0 {
 					continue
@@ -655,6 +780,21 @@ func (a *actor) applyContext(att simnet.Attachment) {
 		ctx.DenseBS = att.BS.Dense
 	}
 	a.mon.SetContext(ctx)
+}
+
+// cappedFaultDur bounds a fault episode's duration so it concludes — and
+// its measurement drains — inside the post-window slack the shard clock
+// runs. Organic heavy-tail episodes may outlast the run; injected ones
+// must not, because the recovery invariant counts their conclusions.
+func (a *actor) cappedFaultDur(d time.Duration, at simclock.Time) time.Duration {
+	deadline := a.scen.Window + time.Hour
+	if at+d > deadline {
+		d = deadline - at
+	}
+	if d < time.Second {
+		d = time.Second
+	}
+	return d
 }
 
 func maxDur(a, b time.Duration) time.Duration {

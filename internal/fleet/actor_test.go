@@ -29,7 +29,7 @@ func newTestActor(t *testing.T, modelID int, seed int64) (*actor, *simclock.Sche
 		t.Fatalf("model %d", modelID)
 	}
 	r := rng.SplitIndexed(seed, "device", 0)
-	a := newActor(1, m, clock, r, &s, network, shard)
+	a := newActor(1, m, clock, r, &s, network, shard, nil)
 	return a, clock, &events
 }
 

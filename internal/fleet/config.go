@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/android"
+	"repro/internal/faultinject"
 	"repro/internal/geo"
 )
 
@@ -31,6 +32,9 @@ type ScenarioConfig struct {
 		WindowDays        float64 `json:"window_days"`
 		EpisodesPerDevice float64 `json:"episodes_per_device"`
 	} `json:"outages,omitempty"`
+	// Faults embeds a fault campaign (same shape as a standalone campaign
+	// file; see internal/faultinject).
+	Faults *faultinject.CampaignConfig `json:"faults,omitempty"`
 }
 
 // LoadScenario reads a JSON scenario file.
@@ -111,6 +115,13 @@ func (cfg ScenarioConfig) Scenario() (Scenario, error) {
 			Window:            time.Duration(o.WindowDays * 24 * float64(time.Hour)),
 			EpisodesPerDevice: o.EpisodesPerDevice,
 		})
+	}
+	if cfg.Faults != nil {
+		campaign, err := cfg.Faults.Campaign()
+		if err != nil {
+			return Scenario{}, err
+		}
+		s.Faults = campaign
 	}
 	return s, nil
 }

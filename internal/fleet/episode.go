@@ -17,11 +17,18 @@ import (
 // have two independent outages of the same data connection at once).
 func (a *actor) runEpisode(ep plannedEpisode, retries int) {
 	if a.events >= a.scen.MaxEventsPerDevice {
+		if ep.fault != nil {
+			ep.fault.NoteDropped()
+		}
 		return
 	}
 	if a.busy {
 		if retries > 50 {
-			return // pathological pile-up; drop the opportunity
+			// pathological pile-up; drop the opportunity
+			if ep.fault != nil {
+				ep.fault.NoteDropped()
+			}
+			return
 		}
 		a.clock.After(time.Duration(30+a.r.Intn(60))*time.Second, func() {
 			a.runEpisode(ep, retries+1)
@@ -38,7 +45,11 @@ func (a *actor) runEpisode(ep plannedEpisode, retries int) {
 		att = a.hazardTiltedAttachment()
 	}
 	if att.BS == nil {
-		return // no serving BS anywhere; nothing to fail against
+		// no serving BS anywhere; nothing to fail against
+		if ep.fault != nil {
+			ep.fault.NoteDropped()
+		}
+		return
 	}
 	a.att = att
 	a.applyContext(att)
@@ -49,11 +60,11 @@ func (a *actor) runEpisode(ep plannedEpisode, retries int) {
 
 	switch ep.kind {
 	case failure.DataSetupError:
-		a.runSetupEpisode(ep.transition, ep.fp)
+		a.runSetupEpisode(ep)
 	case failure.DataStall:
-		a.runStallEpisode(ep.transition, ep.fp)
+		a.runStallEpisode(ep)
 	case failure.OutOfService:
-		a.runOOSEpisode(ep.transition)
+		a.runOOSEpisode(ep)
 	case failure.SMSSendFail, failure.VoiceFailure:
 		a.mon.OnLegacyFailure(ep.kind, telephony.CauseNetworkFailure)
 		a.events++
@@ -93,10 +104,10 @@ func (a *actor) hazardTiltedAttachment() simnet.Attachment {
 // scripted sequence of radio failures, exactly as a phone would experience
 // them; the monitoring service receives the per-attempt Data_Setup_Error
 // notifications through the machine's hooks.
-func (a *actor) runSetupEpisode(trans *failure.TransitionInfo, isFP bool) {
+func (a *actor) runSetupEpisode(ep plannedEpisode) {
 	a.busy = true
 	a.inSetup = true
-	a.setupTransition = trans
+	a.setupTransition = ep.transition
 	a.setupStart = a.clock.Now()
 	a.setupAttempts = 0
 	a.setupCause = telephony.CauseNone
@@ -107,9 +118,14 @@ func (a *actor) runSetupEpisode(trans *failure.TransitionInfo, isFP bool) {
 	outcomes := make([]android.SetupOutcome, 0, attempts+1)
 	for i := 0; i < attempts; i++ {
 		var cause telephony.FailCause
-		if isFP {
+		switch {
+		case ep.fp:
 			cause = sampleFPCause(a.r)
-		} else {
+		case ep.cause != telephony.CauseNone:
+			// Setup-storm episodes carry the incident's cause mix: every
+			// retry fails the same way a control-plane outage fails.
+			cause = ep.cause
+		default:
 			cause = simnet.SampleSetupCause(a.r, a.att)
 		}
 		outcomes = append(outcomes, android.SetupOutcome{Success: false, Cause: cause})
@@ -123,7 +139,14 @@ func (a *actor) runSetupEpisode(trans *failure.TransitionInfo, isFP bool) {
 	if a.dc.State() != android.DcInactive {
 		a.inSetup = false
 		a.busy = false
+		if ep.fault != nil {
+			ep.fault.NoteDropped()
+		}
 		return
+	}
+	if ep.fault != nil {
+		a.setupFault = ep.fault
+		ep.fault.NoteInjected()
 	}
 	_ = a.dc.RequestSetup()
 }
@@ -139,6 +162,12 @@ func (a *actor) finishSetupEpisode(cause telephony.FailCause) {
 	attempts := a.setupAttempts
 	trans := a.setupTransition
 	a.setupTransition = nil
+	if a.setupFault != nil {
+		// The episode concluded — connected after retries or abandoned —
+		// either way the machine is back in a steady state.
+		a.setupFault.NoteRecovered()
+		a.setupFault = nil
+	}
 	if attempts == 0 {
 		return // connected first try; not a failure episode
 	}
@@ -172,10 +201,10 @@ func sampleFPCause(r *rng.Source) telephony.FailCause {
 // from TCP counters, the monitor probes and measures, the recovery engine
 // escalates through its stages, and the episode resolves by whichever of
 // natural recovery, a recovery operation, or a user reset comes first.
-func (a *actor) runStallEpisode(trans *failure.TransitionInfo, isFP bool) {
+func (a *actor) runStallEpisode(ep plannedEpisode) {
 	a.busy = true
 	cond := netprobe.NetworkDown
-	if isFP {
+	if ep.fp {
 		cond = a.cal.SampleFPStallCondition(a.r)
 	}
 	neglect := 1.0
@@ -183,8 +212,17 @@ func (a *actor) runStallEpisode(trans *failure.TransitionInfo, isFP bool) {
 		neglect = a.att.BS.Region.Profile().NeglectFactor
 	}
 	autoFix := a.cal.SampleStallAutoFix(a.r, neglect)
+	if ep.fault != nil {
+		a.stallFault = ep.fault
+		ep.fault.NoteInjected()
+		if ep.dur > 0 {
+			// Pre-sampled and capped so the injected stall heals — and its
+			// measurement concludes — inside the run's slack.
+			autoFix = ep.dur
+		}
+	}
 
-	a.stallTransition = trans
+	a.stallTransition = ep.transition
 	a.stallAutoFix = autoFix
 	a.host.SetCondition(cond)
 	a.detector.Start()
@@ -232,6 +270,10 @@ func (a *actor) endStall() {
 	a.host.SetCondition(netprobe.Healthy)
 	a.stallTransition = nil
 	a.stallAutoFix = 0
+	if a.stallFault != nil {
+		a.stallFault.NoteRecovered()
+		a.stallFault = nil
+	}
 	a.busy = false
 	a.events++
 }
@@ -241,9 +283,15 @@ func (a *actor) endStall() {
 // runOOSEpisode drops cellular registration through the service tracker;
 // the tracker reports the episode when service returns and the monitor
 // records it with the in-situ context.
-func (a *actor) runOOSEpisode(trans *failure.TransitionInfo) {
+func (a *actor) runOOSEpisode(ep plannedEpisode) {
 	a.busy = true
-	a.oosTransition = trans
+	a.oosTransition = ep.transition
+	if ep.fault != nil {
+		a.oosFault = ep.fault
+		ep.fault.NoteInjected()
+		a.service.LoseService(ep.dur, a.fr.Bool(0.15))
+		return
+	}
 	dur := a.cal.SampleOOSDuration(a.r)
 	a.service.LoseService(dur, a.r.Bool(0.15))
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/android"
 	"repro/internal/device"
 	"repro/internal/failure"
+	"repro/internal/faultinject"
 	"repro/internal/geo"
 	"repro/internal/rng"
 	"repro/internal/simclock"
@@ -40,6 +41,15 @@ func Run(s Scenario) (*Result, error) {
 	dataset := trace.NewDataset()
 	refMass := estimateClassMasses(network, s)
 
+	// Compile the fault campaign against the generated deployment. The
+	// injector is read-only after compilation and shared by every shard;
+	// its station selection draws from (seed, rule name) streams, so the
+	// same campaign darkens the same stations for any worker count.
+	inj, err := faultinject.Compile(s.Faults, network.Stations, s.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: compile fault campaign: %w", err)
+	}
+
 	workers := s.Workers
 	if workers > s.NumDevices {
 		workers = s.NumDevices
@@ -56,7 +66,7 @@ func Run(s Scenario) (*Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			outs[w] = runShard(&s, network, dataset, modelPick, refMass, w, lo, hi)
+			outs[w] = runShard(&s, network, dataset, modelPick, refMass, inj, w, lo, hi)
 		}()
 	}
 	wg.Wait()
@@ -70,6 +80,7 @@ func Run(s Scenario) (*Result, error) {
 		res.Population.Add(&o.state.pop)
 		res.Transitions.Add(&o.state.trans)
 		res.Dwell.Add(&o.state.dwell)
+		res.Integrity.Add(&o.integrity)
 		res.Monitor.Recorded += o.mon.recorded
 		res.Monitor.FilteredSetup += o.mon.filteredSetup
 		res.Monitor.FilteredStalls += o.mon.filteredStalls
@@ -98,15 +109,17 @@ func Run(s Scenario) (*Result, error) {
 	if res.Overhead.Devices > 0 {
 		res.Overhead.MeanCPUUtilization = cpuSum / float64(res.Overhead.Devices)
 	}
+	res.Faults = inj.Report()
 	return res, nil
 }
 
 // shardOut is one worker's harvest.
 type shardOut struct {
-	state    *shardState
-	mon      monitorAgg
-	overhead OverheadSummary
-	err      error
+	state     *shardState
+	mon       monitorAgg
+	overhead  OverheadSummary
+	integrity IntegrityReport
+	err       error
 }
 
 type monitorAgg struct {
@@ -118,7 +131,7 @@ type monitorAgg struct {
 
 // runShard simulates devices [lo, hi) on a private clock. shard is the
 // worker index, used only as a metrics label.
-func runShard(s *Scenario, network *simnet.Network, dataset *trace.Dataset, modelPick *rng.Categorical, refMass map[classKey]classMass, shard, lo, hi int) (out shardOut) {
+func runShard(s *Scenario, network *simnet.Network, dataset *trace.Dataset, modelPick *rng.Categorical, refMass map[classKey]classMass, inj *faultinject.Injector, shard, lo, hi int) (out shardOut) {
 	shardStart := time.Now()
 	mShardsStarted.Inc()
 	mShardsActive.Add(1)
@@ -166,7 +179,7 @@ func runShard(s *Scenario, network *simnet.Network, dataset *trace.Dataset, mode
 	for i := lo; i < hi; i++ {
 		r := rng.SplitIndexed(s.Seed, "device", i)
 		m := models[modelPick.Draw(r)]
-		actors = append(actors, newActor(uint64(i+1), m, clock, r, s, network, state))
+		actors = append(actors, newActor(uint64(i+1), m, clock, r, s, network, state, inj))
 	}
 
 	// Run the window plus slack for in-flight episodes to conclude.
@@ -176,6 +189,17 @@ func runShard(s *Scenario, network *simnet.Network, dataset *trace.Dataset, mode
 	depth.Set(0)
 
 	for _, a := range actors {
+		switch a.dc.State() {
+		case android.DcInactive, android.DcActive:
+		default:
+			out.integrity.Wedged++
+		}
+		if a.inSetup {
+			out.integrity.OpenSetups++
+		}
+		if a.busy {
+			out.integrity.OpenEpisodes++
+		}
 		o := a.mon.Overhead()
 		st := a.mon.Stats()
 		out.mon.recorded += st.Recorded

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/android"
+	"repro/internal/faultinject"
 	"repro/internal/geo"
 	"repro/internal/monitor"
 	"repro/internal/simnet"
@@ -78,6 +79,11 @@ type Scenario struct {
 	// the region during the window suffers extra stall episodes (a BS "in
 	// disrepair", §3.1's long-neglected infrastructure).
 	Outages []Outage
+	// Faults superimposes a deterministic fault campaign — BS blackouts
+	// and flaps, RSS degradation windows, control-plane error storms, RAT
+	// downgrades, stall storms — on the generated environment. Nil runs
+	// the calm calibrated environment; see internal/faultinject.
+	Faults *faultinject.Campaign
 }
 
 // Outage is a scheduled regional infrastructure failure.
@@ -233,6 +239,32 @@ type OverheadSummary struct {
 	TotalNetworkBytes  int64
 }
 
+// IntegrityReport checks, after the clock drains, that every device ended
+// the run inside the Figure-1 state machine: the data connection parked in
+// Inactive or Active, no setup episode still in flight. OpenEpisodes
+// counts devices whose current episode (stall or Out_of_Service) was still
+// running when the window closed — legal for organic heavy-tail episodes,
+// which can outlast the run, so it is informational rather than a wedge.
+type IntegrityReport struct {
+	// Wedged counts devices whose DataConnection finished outside
+	// {Inactive, Active} — a state-machine leak.
+	Wedged int
+	// OpenSetups counts devices with a setup episode that never concluded.
+	OpenSetups int
+	// OpenEpisodes counts devices still busy with a stall/OOS episode.
+	OpenEpisodes int
+}
+
+// Add accumulates other into r.
+func (r *IntegrityReport) Add(other *IntegrityReport) {
+	r.Wedged += other.Wedged
+	r.OpenSetups += other.OpenSetups
+	r.OpenEpisodes += other.OpenEpisodes
+}
+
+// Clean reports whether every device ended inside the state machine.
+func (r *IntegrityReport) Clean() bool { return r.Wedged == 0 && r.OpenSetups == 0 }
+
 // Result is a completed fleet run.
 type Result struct {
 	Scenario    Scenario
@@ -244,6 +276,10 @@ type Result struct {
 	Overhead    OverheadSummary
 	// Network is the generated deployment (BS census for Figures 11/14).
 	Network *simnet.Network
+	// Integrity is the post-run state-machine check over all devices.
+	Integrity IntegrityReport
+	// Faults is the campaign execution report (nil for calm runs).
+	Faults *faultinject.Report
 }
 
 // String summarizes the run.

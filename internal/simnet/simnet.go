@@ -9,6 +9,7 @@ package simnet
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/geo"
 	"repro/internal/rng"
@@ -315,12 +316,37 @@ type Attachment struct {
 	Level telephony.SignalLevel
 }
 
+// Overlay adjusts the radio environment as a function of virtual time. The
+// fault-injection subsystem implements it to superimpose degradation
+// windows and capability outages on a generated deployment without
+// regenerating it; a nil Overlay leaves the environment untouched and the
+// attach path draw-for-draw identical to the unfaulted one.
+type Overlay interface {
+	// LevelShift returns how many signal levels to subtract for a device
+	// of the given ISP camped in the given region at virtual time at
+	// (0 = no degradation; results clamp at level 0).
+	LevelShift(isp ISPID, region geo.Region, at time.Duration) int
+	// RATBlocked reports whether the RAT is unusable for the ISP at
+	// virtual time at (a capability outage: the fleet-wide loss of one
+	// access technology, e.g. a 5G core failure).
+	RATBlocked(isp ISPID, rat telephony.RAT, at time.Duration) bool
+}
+
 // Attach selects a base station for a device of the given ISP in the given
 // region (weighted by BS load) and samples its signal level. wantRAT is the
 // RAT the device's selection policy requested; if the chosen BS does not
 // support it, the best supported RAT is used instead, mirroring a fallback
 // camp.
 func (n *Network) Attach(r *rng.Source, isp ISPID, region geo.Region, wantRAT telephony.RAT) (Attachment, error) {
+	return n.AttachAt(r, isp, region, wantRAT, 0, nil)
+}
+
+// AttachAt is Attach under a fault overlay at virtual time at: blocked
+// RATs cannot be camped on (the device falls back to the best unblocked
+// RAT the BS supports, or fails to attach if there is none), and regional
+// RSS degradation shifts the sampled signal level down. A nil overlay
+// reduces to Attach and consumes exactly the same random draws.
+func (n *Network) AttachAt(r *rng.Source, isp ISPID, region geo.Region, wantRAT telephony.RAT, at time.Duration, ov Overlay) (Attachment, error) {
 	pool := n.byCell[cellKey{isp, region}]
 	if pool == nil || len(pool.stations) == 0 {
 		// Sparse deployments may lack a region; fall back to any region
@@ -337,11 +363,38 @@ func (n *Network) Attach(r *rng.Source, isp ISPID, region geo.Region, wantRAT te
 	}
 	bs := pool.pick(r)
 	rat := wantRAT
-	if !bs.Supports(rat) {
-		rat = bs.BestRAT()
+	if !bs.Supports(rat) || (ov != nil && ov.RATBlocked(isp, rat, at)) {
+		rat = bestUnblockedRAT(bs, isp, at, ov)
+		if rat == telephony.RATUnknown {
+			return Attachment{}, fmt.Errorf("simnet: every RAT of the chosen BS is blocked")
+		}
 	}
 	level := n.SampleLevel(r, bs, rat)
+	if ov != nil {
+		if shift := ov.LevelShift(isp, bs.Region, at); shift > 0 {
+			if int(level) <= shift {
+				level = telephony.SignalLevel(0)
+			} else {
+				level -= telephony.SignalLevel(shift)
+			}
+		}
+	}
 	return Attachment{BS: bs, RAT: rat, Level: level}, nil
+}
+
+// bestUnblockedRAT returns the highest-generation supported RAT that the
+// overlay does not block (RATUnknown if all are blocked).
+func bestUnblockedRAT(bs *BaseStation, isp ISPID, at time.Duration, ov Overlay) telephony.RAT {
+	best := telephony.RATUnknown
+	for _, rat := range bs.RATs {
+		if ov != nil && ov.RATBlocked(isp, rat, at) {
+			continue
+		}
+		if rat.Generation() > best.Generation() {
+			best = rat
+		}
+	}
+	return best
 }
 
 // pick draws a station proportionally to load weight. Linear scan over the
