@@ -45,6 +45,9 @@ func main() {
 		log.Fatalf("cellanalyze: %v", err)
 	}
 	in := analysis.FromResult(res)
+	// One fused engine pass feeds every figure target below; only the
+	// parameterized time series runs its own sweep.
+	pass := analysis.NewPass(in)
 
 	if *csvOut != "" {
 		if err := exportTo(*csvOut, res.Dataset.WriteCSV); err != nil {
@@ -63,10 +66,10 @@ func main() {
 	}
 
 	all := map[string]func(){
-		"table1": func() { fmt.Print(analysis.RenderTable1(analysis.Table1(in, core.Catalogue()))) },
-		"table2": func() { fmt.Print(analysis.RenderTable2(analysis.Table2(in, 10))) },
+		"table1": func() { fmt.Print(analysis.RenderTable1(pass.Table1(core.Catalogue()))) },
+		"table2": func() { fmt.Print(analysis.RenderTable2(pass.Table2(10))) },
 		"fig3": func() {
-			f := analysis.Figure3(in)
+			f := pass.Figure3()
 			fmt.Printf("Failures per phone: mean %.1f, max %.0f, %.1f%% of phones failure-free, %.1f%% OOS-free\n",
 				f.Mean, f.Max, f.ZeroShare*100, f.OOSFreeShare*100)
 			for _, k := range []failure.Kind{failure.DataSetupError, failure.DataStall, failure.OutOfService} {
@@ -74,46 +77,46 @@ func main() {
 			}
 		},
 		"fig4": func() {
-			d := analysis.Figure4(in)
+			d := pass.Figure4()
 			fmt.Printf("Failure durations: mean %v, median %v, max %v, %.1f%% under 30s, stall share of duration %.1f%%\n",
 				d.Mean, d.Median, d.Max, d.Under30*100, d.StallShareOfDuration*100)
 			fmt.Print(analysis.RenderCDF("duration CDF", "s", d.CDF, 12))
 		},
 		"fig6": func() {
-			f, n := analysis.By5G(in)
+			f, n := pass.By5G()
 			fmt.Print(analysis.RenderGroups("5G vs non-5G (Figures 6/7)", []analysis.GroupStats{f, n}))
 		},
 		"fig8": func() {
-			a9, a10 := analysis.ByAndroidVersion(in)
+			a9, a10 := pass.ByAndroidVersion()
 			fmt.Print(analysis.RenderGroups("Android version (Figures 8/9)", []analysis.GroupStats{a9, a10}))
 		},
 		"fig10": func() {
-			f := analysis.Figure10(in)
+			f := pass.Figure10()
 			fmt.Printf("Data_Stall self-recovery: %.1f%% within 10s (paper 60%%), %.1f%% within 300s, first-op fix rate %.1f%% (paper 75%%)\n",
 				f.Under10*100, f.Under300*100, f.FirstOpFixRate*100)
 			fmt.Print(analysis.RenderCDF("auto-fix CDF", "s", f.CDF, 10))
 		},
-		"fig11": func() { fmt.Print(analysis.RenderRanking(analysis.Figure11(in, 100))) },
+		"fig11": func() { fmt.Print(analysis.RenderRanking(pass.Figure11(100))) },
 		"fig12": func() {
-			g := analysis.ByISP(in)
+			g := pass.ByISP()
 			fmt.Print(analysis.RenderGroups("ISP discrepancy (Figures 12/13)", g[:]))
 		},
 		"fig14": func() {
 			fmt.Println("Failure prevalence by BS RAT (failures per 1000 connected hours):")
-			for _, r := range analysis.Figure14(in) {
+			for _, r := range pass.Figure14() {
 				fmt.Printf("  %v: %.2f (events %d, dwell %.0f h, %d BSes)\n", r.RAT, r.Prevalence, r.Events, r.DwellHours, r.BSes)
 			}
 		},
 		"fig15": func() {
-			fmt.Print(analysis.RenderLevels("Normalized prevalence by signal level (Figure 15)", analysis.Figure15(in)))
+			fmt.Print(analysis.RenderLevels("Normalized prevalence by signal level (Figure 15)", pass.Figure15()))
 		},
 		"fig16": func() {
-			fmt.Print(analysis.RenderLevels("4G (Figure 16)", analysis.Figure16(in, telephony.RAT4G)))
-			fmt.Print(analysis.RenderLevels("5G (Figure 16)", analysis.Figure16(in, telephony.RAT5G)))
+			fmt.Print(analysis.RenderLevels("4G (Figure 16)", pass.Figure16(telephony.RAT4G)))
+			fmt.Print(analysis.RenderLevels("5G (Figure 16)", pass.Figure16(telephony.RAT5G)))
 		},
 		"fig17": func() {
 			for _, pair := range analysis.Figure17Pairs() {
-				fmt.Print(analysis.RenderHeatmap(analysis.Figure17(in, pair[0], pair[1])))
+				fmt.Print(analysis.RenderHeatmap(pass.Figure17(pair[0], pair[1])))
 			}
 		},
 		"timeseries": func() {
@@ -134,16 +137,16 @@ func main() {
 			}
 		},
 		"claims": func() {
-			fmt.Print(analysis.RenderClaims(analysis.CheckClaims(in)))
+			fmt.Print(analysis.RenderClaims(pass.Claims()))
 		},
 		"regions": func() {
-			fmt.Print(analysis.RenderRegions(analysis.ByRegion(in)))
+			fmt.Print(analysis.RenderRegions(pass.ByRegion()))
 		},
 		"guidelines": func() {
-			fmt.Print(analysis.RenderGuidelines(analysis.Guidelines(in)))
+			fmt.Print(analysis.RenderGuidelines(pass.Guidelines()))
 		},
 		"correlation": func() {
-			fmt.Print(analysis.RenderCorrelation(analysis.HardwareCorrelation(in, core.Catalogue())))
+			fmt.Print(analysis.RenderCorrelation(pass.HardwareCorrelation(core.Catalogue())))
 		},
 		"overhead": func() {
 			o := res.Overhead

@@ -61,6 +61,31 @@ func main() {
 	in := analysis.FromResult(res)
 	res.Dataset.ExposeSize()
 
+	// One fused engine pass at startup; request handlers only render the
+	// precomputed figures instead of rescanning the dataset per hit.
+	pass := analysis.NewPass(in)
+	f3 := pass.Figure3()
+	type kindRow struct {
+		Name string
+		N    int
+	}
+	kinds := map[failure.Kind]int{}
+	res.Dataset.Each(func(e *failure.Event) { kinds[e.Kind]++ })
+	var kindRows []kindRow
+	for k := failure.Kind(0); k < failure.NumKinds; k++ {
+		if kinds[k] > 0 {
+			kindRows = append(kindRows, kindRow{k.String(), kinds[k]})
+		}
+	}
+	type ispRow struct {
+		Name       string
+		Prev, Freq float64
+	}
+	var ispRows []ispRow
+	for _, g := range pass.ByISP() {
+		ispRows = append(ispRows, ispRow{g.Name, g.Prevalence * 100, g.Frequency})
+	}
+
 	mux := http.NewServeMux()
 	trace.NewQueryAPI(res.Dataset).Routes(mux)
 	mux.Handle("/metrics", metrics.Handler())
@@ -71,27 +96,6 @@ func main() {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
-		}
-		f3 := analysis.Figure3(in)
-		type kindRow struct {
-			Name string
-			N    int
-		}
-		kinds := map[failure.Kind]int{}
-		res.Dataset.Each(func(e *failure.Event) { kinds[e.Kind]++ })
-		var kindRows []kindRow
-		for k := failure.Kind(0); k < failure.NumKinds; k++ {
-			if kinds[k] > 0 {
-				kindRows = append(kindRows, kindRow{k.String(), kinds[k]})
-			}
-		}
-		type ispRow struct {
-			Name       string
-			Prev, Freq float64
-		}
-		var ispRows []ispRow
-		for _, g := range analysis.ByISP(in) {
-			ispRows = append(ispRows, ispRow{g.Name, g.Prevalence * 100, g.Frequency})
 		}
 		page.Execute(w, map[string]any{
 			"Events":     res.Dataset.Len(),

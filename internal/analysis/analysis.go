@@ -4,10 +4,16 @@
 // correlations are all derived from events, population denominators, dwell
 // accounting and the BS census, so a run of the pipeline validates the
 // whole measurement stack end to end.
+//
+// Figures are computed by a single-pass visitor engine (engine.go): each
+// figure registers a streaming Visitor, one parallel sweep per dataset
+// shard feeds them all, and per-shard partials merge in shard order so
+// results are bit-identical to a sequential scan. The standalone functions
+// below each run a one-visitor pass; NewPass fuses all of them into one
+// sweep for the report, claims and guidelines layers.
 package analysis
 
 import (
-	"sort"
 	"time"
 
 	"repro/internal/failure"
@@ -48,23 +54,6 @@ type perDevice struct {
 	byKind  [failure.NumKinds]int
 }
 
-// scan builds per-device aggregates once; most figures reuse it.
-func (in Input) scan() map[uint64]*perDevice {
-	devs := make(map[uint64]*perDevice)
-	in.Dataset.Each(func(e *failure.Event) {
-		d := devs[e.DeviceID]
-		if d == nil {
-			d = &perDevice{modelID: e.ModelID, fiveG: e.FiveGCapable, android: e.AndroidVersion, isp: e.ISP}
-			devs[e.DeviceID] = d
-		}
-		d.total++
-		if int(e.Kind) < len(d.byKind) {
-			d.byKind[e.Kind]++
-		}
-	})
-	return devs
-}
-
 // GroupStats is the prevalence/frequency pair the paper reports for a
 // device group.
 type GroupStats struct {
@@ -100,28 +89,7 @@ type ModelRow struct {
 // Table1 recomputes per-model prevalence and frequency and pairs them with
 // the paper's Table 1 values.
 func Table1(in Input, catalogue []ModelCatalogueEntry) []ModelRow {
-	failing := make(map[int]int)
-	events := make(map[int]int)
-	for _, d := range in.scan() {
-		failing[d.modelID]++
-		events[d.modelID] += d.total
-	}
-	rows := make([]ModelRow, 0, len(catalogue))
-	for _, m := range catalogue {
-		devices := in.Population.ByModel[m.ID]
-		row := ModelRow{
-			ModelID: m.ID, FiveG: m.FiveG, Android: m.Android,
-			Devices:         devices,
-			PaperPrevalence: m.Prevalence,
-			PaperFrequency:  m.Frequency,
-		}
-		if devices > 0 {
-			row.Prevalence = float64(failing[m.ID]) / float64(devices)
-			row.Frequency = float64(events[m.ID]) / float64(devices)
-		}
-		rows = append(rows, row)
-	}
-	return rows
+	return runOne(in.Dataset, func() *deviceVisitor { return newDeviceVisitor(passHint(in.Dataset)) }).table1(in.Population, catalogue)
 }
 
 // ModelCatalogueEntry mirrors the device catalogue without importing it
@@ -149,30 +117,7 @@ type CauseRow struct {
 // Table2 decomposes Data_Setup_Error events by protocol error code and
 // returns the topN rows by share.
 func Table2(in Input, topN int) []CauseRow {
-	counts := map[telephony.FailCause]int{}
-	total := 0
-	in.Dataset.Each(func(e *failure.Event) {
-		if e.Kind == failure.DataSetupError {
-			counts[e.Cause]++
-			total++
-		}
-	})
-	rows := make([]CauseRow, 0, len(counts))
-	for cause, n := range counts {
-		info := telephony.Info(cause)
-		rows = append(rows, CauseRow{
-			Cause:       cause,
-			Name:        info.Name,
-			Description: info.Description,
-			Share:       float64(n) / float64(max(total, 1)),
-			PaperShare:  info.Table2Share / 100,
-		})
-	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].Share > rows[j].Share })
-	if topN > 0 && len(rows) > topN {
-		rows = rows[:topN]
-	}
-	return rows
+	return runOne(in.Dataset, newCauseVisitor).table2(topN)
 }
 
 // FailuresPerPhone reproduces Figure 3: the distribution of failures per
@@ -191,40 +136,7 @@ type FailuresPerPhone struct {
 
 // Figure3 computes the failures-per-phone distribution.
 func Figure3(in Input) FailuresPerPhone {
-	devs := in.scan()
-	total := in.Population.Total
-	out := FailuresPerPhone{MeanPerKind: map[failure.Kind]float64{}}
-	counts := make([]float64, 0, total)
-	oosDevices := 0
-	var sum float64
-	kindSums := map[failure.Kind]float64{}
-	for _, d := range devs {
-		c := float64(d.total)
-		counts = append(counts, c)
-		sum += c
-		if c > out.Max {
-			out.Max = c
-		}
-		for k, n := range d.byKind {
-			kindSums[failure.Kind(k)] += float64(n)
-		}
-		if d.byKind[failure.OutOfService] > 0 {
-			oosDevices++
-		}
-	}
-	for i := len(devs); i < total; i++ {
-		counts = append(counts, 0)
-	}
-	out.CDF = stats.NewECDF(counts)
-	if total > 0 {
-		out.Mean = sum / float64(total)
-		out.ZeroShare = float64(total-len(devs)) / float64(total)
-		out.OOSFreeShare = float64(total-oosDevices) / float64(total)
-		for k, s := range kindSums {
-			out.MeanPerKind[k] = s / float64(total)
-		}
-	}
-	return out
+	return runOne(in.Dataset, func() *deviceVisitor { return newDeviceVisitor(passHint(in.Dataset)) }).figure3(in.Population)
 }
 
 // DurationStats reproduces Figure 4: the failure-duration distribution.
@@ -241,83 +153,24 @@ type DurationStats struct {
 
 // Figure4 computes the duration distribution over all failures.
 func Figure4(in Input) DurationStats {
-	var durs []float64
-	var total, stall time.Duration
-	var maxDur time.Duration
-	in.Dataset.Each(func(e *failure.Event) {
-		durs = append(durs, e.Duration.Seconds())
-		total += e.Duration
-		if e.Kind == failure.DataStall {
-			stall += e.Duration
-		}
-		if e.Duration > maxDur {
-			maxDur = e.Duration
-		}
-	})
-	out := DurationStats{CDF: stats.NewECDF(durs), Max: maxDur}
-	if n := len(durs); n > 0 {
-		out.Mean = time.Duration(out.CDF.Mean() * float64(time.Second))
-		out.Median = time.Duration(out.CDF.Quantile(0.5) * float64(time.Second))
-		out.Under30 = out.CDF.P(30)
-	}
-	if total > 0 {
-		out.StallShareOfDuration = float64(stall) / float64(total)
-	}
-	return out
+	return runOne(in.Dataset, func() *durationVisitor { return newDurationVisitor(passHint(in.Dataset)) }).figure4()
 }
 
 // By5G reproduces Figures 6 and 7: 5G models versus non-5G Android 10
 // models (the paper's footnote-4 fair comparison group).
 func By5G(in Input) (fiveG, non5G GroupStats) {
-	devs := in.scan()
-	var f5, e5, f10, e10 int
-	for _, d := range devs {
-		switch {
-		case d.fiveG:
-			f5++
-			e5 += d.total
-		case d.android == 10:
-			f10++
-			e10 += d.total
-		}
-	}
-	return makeGroup("5G", in.Population.FiveG, f5, e5),
-		makeGroup("non-5G (Android 10)", in.Population.Android10No5G, f10, e10)
+	return runOne(in.Dataset, func() *deviceVisitor { return newDeviceVisitor(passHint(in.Dataset)) }).by5G(in.Population)
 }
 
 // ByAndroidVersion reproduces Figures 8 and 9: Android 9 versus non-5G
 // Android 10.
 func ByAndroidVersion(in Input) (android9, android10 GroupStats) {
-	devs := in.scan()
-	var f9, e9, f10, e10 int
-	for _, d := range devs {
-		switch {
-		case d.android == 9:
-			f9++
-			e9 += d.total
-		case !d.fiveG:
-			f10++
-			e10 += d.total
-		}
-	}
-	return makeGroup("Android 9", in.Population.Android9, f9, e9),
-		makeGroup("Android 10 (non-5G)", in.Population.Android10No5G, f10, e10)
+	return runOne(in.Dataset, func() *deviceVisitor { return newDeviceVisitor(passHint(in.Dataset)) }).byAndroidVersion(in.Population)
 }
 
 // ByISP reproduces Figures 12 and 13.
 func ByISP(in Input) [simnet.NumISPs]GroupStats {
-	devs := in.scan()
-	var failing, events [simnet.NumISPs]int
-	for _, d := range devs {
-		failing[d.isp]++
-		events[d.isp] += d.total
-	}
-	var out [simnet.NumISPs]GroupStats
-	for i := range out {
-		id := simnet.ISPID(i)
-		out[i] = makeGroup(id.String(), in.Population.ByISP[i], failing[i], events[i])
-	}
-	return out
+	return runOne(in.Dataset, func() *deviceVisitor { return newDeviceVisitor(passHint(in.Dataset)) }).byISP(in.Population)
 }
 
 func max(a, b int) int {

@@ -1,0 +1,256 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/android"
+	"repro/internal/failure"
+	"repro/internal/fleet"
+	"repro/internal/geo"
+	"repro/internal/simnet"
+	"repro/internal/telephony"
+	"repro/internal/trace"
+)
+
+// benchEvents sizes the synthetic benchmark dataset at roughly one million
+// events — the scale of the paper's nationwide trace per analysis window.
+const benchEvents = 1 << 20
+
+// benchInput builds a deterministic synthetic Input of n events. The field
+// mix is chosen so every visitor has real work: three failure kinds, a
+// spread of causes, devices, models, cells, RATs, and signal levels, with
+// stall-recovery metadata on the Data_Stall slice.
+func benchInput(n int) Input {
+	r := rand.New(rand.NewSource(42))
+	const nDevices = 20000
+	const nCells = 2000
+
+	type dev struct {
+		model   int
+		fiveG   bool
+		android int
+		isp     simnet.ISPID
+	}
+	devs := make([]dev, nDevices)
+	var pop fleet.Population
+	pop.Total = nDevices
+	for i := range devs {
+		d := dev{
+			model:   1 + r.Intn(34),
+			isp:     simnet.ISPID(r.Intn(simnet.NumISPs)),
+			android: 9 + r.Intn(2),
+		}
+		d.fiveG = d.model%5 == 0 && d.android == 10
+		devs[i] = d
+		pop.ByModel[d.model]++
+		pop.ByISP[d.isp]++
+		switch {
+		case d.fiveG:
+			pop.FiveG++
+		case d.android == 9:
+			pop.Android9++
+		default:
+			pop.Android10No5G++
+		}
+	}
+
+	causes := []telephony.FailCause{
+		telephony.CauseSignalLost, 27, 33, 38, 50, 29,
+	}
+	events := make([]failure.Event, n)
+	for i := range events {
+		id := uint64(r.Intn(nDevices))
+		d := devs[id]
+		e := failure.Event{
+			Kind:           failure.Kind(r.Intn(3)),
+			DeviceID:       id,
+			ModelID:        d.model,
+			AndroidVersion: d.android,
+			FiveGCapable:   d.fiveG,
+			ISP:            d.isp,
+			Cell: telephony.CellIdentity{
+				MCC: 460, MNC: uint16(d.isp),
+				LAC: uint32(r.Intn(nCells) / 64), CID: uint32(r.Intn(nCells)),
+			},
+			Region:   geo.Region(r.Intn(geo.NumRegions)),
+			RAT:      telephony.AllRATs[r.Intn(len(telephony.AllRATs))],
+			Level:    telephony.SignalLevel(r.Intn(telephony.NumSignalLevels)),
+			Start:    time.Duration(r.Intn(120*24)) * time.Minute,
+			Duration: time.Duration(1+r.Intn(300)) * time.Second,
+		}
+		if e.Kind == failure.DataSetupError {
+			e.Cause = causes[r.Intn(len(causes))]
+		}
+		if e.Kind == failure.DataStall {
+			e.OpsExecuted = r.Intn(4)
+			switch e.OpsExecuted {
+			case 1:
+				e.ResolvedBy = android.ResolvedOp1
+			case 2:
+				e.ResolvedBy = android.ResolvedOp2
+			case 3:
+				e.ResolvedBy = android.ResolvedOp3
+			default:
+				e.AutoFixTime = time.Duration(1+r.Intn(600)) * time.Second
+			}
+		}
+		events[i] = e
+	}
+
+	dwell := &fleet.DwellStats{}
+	for rat := 0; rat < 5; rat++ {
+		for l := 0; l < telephony.NumSignalLevels; l++ {
+			dwell.Seconds[rat][l] = float64(3600 * (1 + rat + l) * 100)
+			dwell.DevicesExposed[rat][l] = int64(nDevices / (1 + l))
+		}
+	}
+
+	return Input{
+		Dataset:     trace.FromEvents(events),
+		Population:  pop,
+		Transitions: &fleet.TransitionMatrix{},
+		Dwell:       dwell,
+		Network:     simnet.FromStations(nil),
+	}
+}
+
+// benchCatalogue is a minimal Table-1 model list for the synthetic fleet.
+func benchCatalogue() []ModelCatalogueEntry {
+	out := make([]ModelCatalogueEntry, 0, 34)
+	for id := 1; id <= 34; id++ {
+		out = append(out, ModelCatalogueEntry{
+			ID: id, FiveG: id%5 == 0, Android: 9 + id%2,
+		})
+	}
+	return out
+}
+
+// sweep pulls every figure the report needs from src — the full extraction
+// surface. Against legacySource this issues one dataset scan per figure;
+// against a Pass all scanning already happened in the single fused pass.
+func sweep(src source, catalogue []ModelCatalogueEntry) int {
+	n := 0
+	n += len(src.Table1(catalogue))
+	n += len(src.Table2(10))
+	n += src.Figure3().CDF.N()
+	n += src.Figure4().CDF.N()
+	f, n5 := src.By5G()
+	n += f.Devices + n5.Devices
+	a9, a10 := src.ByAndroidVersion()
+	n += a9.Devices + a10.Devices
+	for _, g := range src.ByISP() {
+		n += g.Devices
+	}
+	n += src.Figure10().CDF.N()
+	n += len(src.Figure11(100).Counts)
+	n += len(src.Figure14())
+	n += len(src.Figure15())
+	n += len(src.Figure16(telephony.RAT4G))
+	n += len(src.Figure16(telephony.RAT5G))
+	n += len(src.kindDurations(failure.DataStall))
+	n += len(src.allDurations())
+	n += len(src.fiveGKindStats())
+	return n
+}
+
+// BenchmarkAnalysisLegacyMultiPass measures the pre-engine path: every
+// figure extraction runs its own sequential Dataset.Each scan.
+func BenchmarkAnalysisLegacyMultiPass(b *testing.B) {
+	in := benchInput(benchEvents)
+	catalogue := benchCatalogue()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sweep(legacySource{in}, catalogue) == 0 {
+			b.Fatal("empty sweep")
+		}
+	}
+}
+
+// BenchmarkAnalysisSinglePass measures the fused engine: one pass feeds
+// the same extraction surface.
+func BenchmarkAnalysisSinglePass(b *testing.B) {
+	in := benchInput(benchEvents)
+	catalogue := benchCatalogue()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sweep(NewPass(in), catalogue) == 0 {
+			b.Fatal("empty sweep")
+		}
+	}
+}
+
+// benchEntry is one BENCH_analysis.json record.
+type benchEntry struct {
+	Date          string  `json:"date"`
+	GoVersion     string  `json:"go_version"`
+	GOMAXPROCS    int     `json:"gomaxprocs"`
+	Events        int     `json:"events"`
+	LegacySeconds float64 `json:"legacy_seconds"`
+	EngineSeconds float64 `json:"engine_seconds"`
+	Speedup       float64 `json:"speedup"`
+}
+
+// TestWriteBenchArtifact times one legacy sweep against one engine sweep
+// and appends the result to the JSON file named by BENCH_ANALYSIS_OUT.
+// It is skipped in normal test runs; CI's bench-smoke step and the
+// recorded BENCH_analysis.json entries come from here.
+func TestWriteBenchArtifact(t *testing.T) {
+	out := os.Getenv("BENCH_ANALYSIS_OUT")
+	if out == "" {
+		t.Skip("set BENCH_ANALYSIS_OUT to record a benchmark artifact")
+	}
+	date := os.Getenv("BENCH_ANALYSIS_DATE") // keep artifacts reproducible in CI
+
+	in := benchInput(benchEvents)
+	catalogue := benchCatalogue()
+
+	timeSweep := func(mk func() source) float64 {
+		best := 0.0
+		for i := 0; i < 2; i++ { // best of two: first run also warms caches
+			start := time.Now()
+			if sweep(mk(), catalogue) == 0 {
+				t.Fatal("empty sweep")
+			}
+			sec := time.Since(start).Seconds()
+			if best == 0 || sec < best {
+				best = sec
+			}
+		}
+		return best
+	}
+	legacySec := timeSweep(func() source { return legacySource{in} })
+	engineSec := timeSweep(func() source { return NewPass(in) })
+
+	entry := benchEntry{
+		Date:          date,
+		GoVersion:     runtime.Version(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Events:        benchEvents,
+		LegacySeconds: legacySec,
+		EngineSeconds: engineSec,
+		Speedup:       legacySec / engineSec,
+	}
+
+	var entries []benchEntry
+	if raw, err := os.ReadFile(out); err == nil {
+		if err := json.Unmarshal(raw, &entries); err != nil {
+			t.Fatalf("existing %s is not a benchEntry list: %v", out, err)
+		}
+	}
+	entries = append(entries, entry)
+	raw, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(raw, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("legacy %.3fs engine %.3fs speedup %.2fx -> %s\n",
+		legacySec, engineSec, entry.Speedup, out)
+}

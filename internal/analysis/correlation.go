@@ -23,7 +23,12 @@ type FeatureCorrelation struct {
 // and storage do not relieve the situation (they correlate positively too,
 // because high-end phones carry 5G modems and Android 10).
 func HardwareCorrelation(in Input, catalogue []ModelCatalogueEntry) []FeatureCorrelation {
-	rows := Table1(in, catalogue)
+	return hardwareCorrelationFromRows(Table1(in, catalogue), catalogue)
+}
+
+// hardwareCorrelationFromRows computes the correlations from an already
+// extracted Table 1, so a fused pass needs no second scan.
+func hardwareCorrelationFromRows(rows []ModelRow, catalogue []ModelCatalogueEntry) []FeatureCorrelation {
 	byID := map[int]ModelRow{}
 	for _, r := range rows {
 		byID[r.ModelID] = r

@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/failure"
+	"repro/internal/trace"
+)
+
+// Visitor is one figure's streaming accumulator. The engine delivers every
+// event of a dataset shard to Visit, then combines per-worker partials with
+// Merge. Merge is always called on the pass-wide base visitor with the
+// partials in shard index order, so order-sensitive state (sample slices,
+// first-event-wins metadata) combines exactly as a sequential Dataset.Each
+// would have produced it.
+type Visitor interface {
+	Visit(e *failure.Event)
+	Merge(other Visitor)
+}
+
+// passWorkers picks the worker count for a pass: capped by GOMAXPROCS, by
+// the number of physical CPUs (an oversubscribed GOMAXPROCS only adds
+// preemption churn and duplicate visitor state to a CPU-bound scan), and
+// by the shard count.
+func passWorkers(ds *trace.Dataset) int {
+	if ds == nil {
+		return 1
+	}
+	w := runtime.GOMAXPROCS(0)
+	if n := runtime.NumCPU(); n < w {
+		w = n
+	}
+	if ns := ds.NumShards(); ns < w {
+		w = ns
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// passHint estimates how many events a single worker's visitor set will
+// see; constructors use it to pre-size sample slices.
+func passHint(ds *trace.Dataset) int {
+	if ds == nil {
+		return 0
+	}
+	return ds.Len()/passWorkers(ds) + 1
+}
+
+// runPass runs one pass over the dataset. Shards are split into contiguous
+// blocks, one block per worker; each worker feeds its block — in ascending
+// shard order — to its own visitor set from the factory. Worker sets are
+// merged into the base set in worker index order, which with contiguous
+// blocks IS shard index order, so the result is bit-identical to a
+// sequential scan for any worker count. A single-worker pass skips the
+// partial sets entirely and visits straight into the base set.
+func runPass(ds *trace.Dataset, factory func() []Visitor) []Visitor {
+	base := factory()
+	if ds == nil {
+		return base
+	}
+	start := time.Now()
+	ns := ds.NumShards()
+	workers := passWorkers(ds)
+
+	visitBlock := func(vs []Visitor, lo, hi int) int64 {
+		var n int64
+		for s := lo; s < hi; s++ {
+			if ds.ShardLen(s) == 0 {
+				continue
+			}
+			ds.EachShard(s, func(e *failure.Event) {
+				for _, v := range vs {
+					v.Visit(e)
+				}
+				n++
+			})
+		}
+		return n
+	}
+
+	var visited int64
+	if workers == 1 {
+		visited = visitBlock(base, 0, ns)
+	} else {
+		per := (ns + workers - 1) / workers
+		sets := make([][]Visitor, workers)
+		counts := make([]int64, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := w * per
+			hi := lo + per
+			if hi > ns {
+				hi = ns
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				vs := factory()
+				counts[w] = visitBlock(vs, lo, hi)
+				sets[w] = vs
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		for w, vs := range sets {
+			if vs == nil {
+				continue
+			}
+			visited += counts[w]
+			for i, v := range vs {
+				base[i].Merge(v)
+			}
+		}
+	}
+
+	elapsed := time.Since(start)
+	mPasses.Inc()
+	mPassSeconds.Observe(elapsed.Seconds())
+	mEventsVisited.Add(visited)
+	mPassWorkers.Set(float64(workers))
+	if s := elapsed.Seconds(); s > 0 {
+		mEventsPerSec.Set(float64(visited) / s)
+	}
+	return base
+}
+
+// runOne runs a single-visitor pass, for the standalone per-figure entry
+// points.
+func runOne[T Visitor](ds *trace.Dataset, mk func() T) T {
+	return runPass(ds, func() []Visitor { return []Visitor{mk()} })[0].(T)
+}

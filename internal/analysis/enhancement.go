@@ -47,16 +47,20 @@ type EnhancementReport struct {
 // CompareEnhancement evaluates a patched run against a vanilla run.
 // Both inputs must come from fleets with the same scenario shape.
 func CompareEnhancement(vanilla, patched Input) EnhancementReport {
+	return compareEnhancementFrom(NewPass(vanilla), NewPass(patched))
+}
+
+func compareEnhancementFrom(vanilla, patched source) EnhancementReport {
 	rep := EnhancementReport{}
 
-	vg, _ := By5G(vanilla)
-	pg, _ := By5G(patched)
+	vg, _ := vanilla.By5G()
+	pg, _ := patched.By5G()
 	rep.FiveGPrevalenceChange = stats.RelativeChange(vg.Prevalence, pg.Prevalence)
 	rep.FiveGFrequencyChange = stats.RelativeChange(vg.Frequency, pg.Frequency)
 
-	rep.ByKind = kindDeltas(vanilla, patched)
+	rep.ByKind = kindDeltasFrom(vanilla, patched)
 
-	vd, pd := Figure4(vanilla), Figure4(patched)
+	vd, pd := vanilla.Figure4(), patched.Figure4()
 	rep.MedianDurationBefore = vd.Median
 	rep.MedianDurationAfter = pd.Median
 
@@ -67,31 +71,21 @@ func CompareEnhancement(vanilla, patched Input) EnhancementReport {
 	// trigger's effect.
 	const winsorQ = 0.99
 	rep.StallDurationChange = stats.RelativeChange(
-		winsorizedKindMean(vanilla, failure.DataStall, winsorQ),
-		winsorizedKindMean(patched, failure.DataStall, winsorQ))
+		winsorizedMeanOf(vanilla.kindDurations(failure.DataStall), winsorQ),
+		winsorizedMeanOf(patched.kindDurations(failure.DataStall), winsorQ))
 	rep.TotalDurationChange = stats.RelativeChange(
 		winsorizedTotalPerDevice(vanilla, winsorQ),
 		winsorizedTotalPerDevice(patched, winsorQ))
 	if ks, err := stats.KolmogorovSmirnov(
-		kindDurations(vanilla, failure.DataStall),
-		kindDurations(patched, failure.DataStall)); err == nil {
+		vanilla.kindDurations(failure.DataStall),
+		patched.kindDurations(failure.DataStall)); err == nil {
 		rep.StallKS = ks
 	}
 	return rep
 }
 
-func kindDurations(in Input, kind failure.Kind) []float64 {
-	var xs []float64
-	in.Dataset.Each(func(e *failure.Event) {
-		if e.Kind == kind {
-			xs = append(xs, e.Duration.Seconds())
-		}
-	})
-	return xs
-}
-
-func winsorizedKindMean(in Input, kind failure.Kind, q float64) float64 {
-	m, err := stats.WinsorizedMean(kindDurations(in, kind), q)
+func winsorizedMeanOf(xs []float64, q float64) float64 {
+	m, err := stats.WinsorizedMean(xs, q)
 	if err != nil {
 		return 0
 	}
@@ -99,50 +93,29 @@ func winsorizedKindMean(in Input, kind failure.Kind, q float64) float64 {
 }
 
 // winsorizedTotalPerDevice is total (winsorized) failure seconds per device.
-func winsorizedTotalPerDevice(in Input, q float64) float64 {
-	var xs []float64
-	in.Dataset.Each(func(e *failure.Event) { xs = append(xs, e.Duration.Seconds()) })
+func winsorizedTotalPerDevice(src source, q float64) float64 {
+	xs := src.allDurations()
 	m, err := stats.WinsorizedMean(xs, q)
-	if err != nil || in.Population.Total == 0 {
+	if err != nil || src.input().Population.Total == 0 {
 		return 0
 	}
-	return m * float64(len(xs)) / float64(in.Population.Total)
+	return m * float64(len(xs)) / float64(src.input().Population.Total)
 }
 
-func kindDeltas(vanilla, patched Input) []KindDelta {
-	type agg struct {
-		devs   map[uint64]bool
-		events int
-	}
-	collect := func(in Input) (map[failure.Kind]*agg, int) {
-		m := map[failure.Kind]*agg{}
-		in.Dataset.Each(func(e *failure.Event) {
-			if !e.FiveGCapable {
-				return
-			}
-			a := m[e.Kind]
-			if a == nil {
-				a = &agg{devs: map[uint64]bool{}}
-				m[e.Kind] = a
-			}
-			a.devs[e.DeviceID] = true
-			a.events++
-		})
-		return m, in.Population.FiveG
-	}
-	vm, vPop := collect(vanilla)
-	pm, pPop := collect(patched)
+func kindDeltasFrom(vanilla, patched source) []KindDelta {
+	vm, vPop := vanilla.fiveGKindStats(), vanilla.input().Population.FiveG
+	pm, pPop := patched.fiveGKindStats(), patched.input().Population.FiveG
 	kinds := []failure.Kind{failure.DataSetupError, failure.DataStall, failure.OutOfService}
 	out := make([]KindDelta, 0, len(kinds))
 	for _, k := range kinds {
 		d := KindDelta{Kind: k}
 		var vp, vf, pp, pf float64
-		if a := vm[k]; a != nil && vPop > 0 {
-			vp = float64(len(a.devs)) / float64(vPop)
+		if a, ok := vm[k]; ok && vPop > 0 {
+			vp = float64(a.devices) / float64(vPop)
 			vf = float64(a.events) / float64(vPop)
 		}
-		if a := pm[k]; a != nil && pPop > 0 {
-			pp = float64(len(a.devs)) / float64(pPop)
+		if a, ok := pm[k]; ok && pPop > 0 {
+			pp = float64(a.devices) / float64(pPop)
 			pf = float64(a.events) / float64(pPop)
 		}
 		d.PrevalenceChange = stats.RelativeChange(vp, pp)

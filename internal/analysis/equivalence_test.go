@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/failure"
+	"repro/internal/telephony"
+)
+
+// The legacy multi-pass oracle must satisfy the same extraction surface as
+// the fused engine pass.
+var _ source = legacySource{}
+
+// TestEngineMatchesLegacy asserts that the single-pass visitor engine
+// produces results identical to the sequential multi-pass implementation on
+// the fixed-seed scenario dataset — figure by figure, via DeepEqual.
+func TestEngineMatchesLegacy(t *testing.T) {
+	van, _ := setup(t)
+	pass := NewPass(van)
+	legacy := legacySource{van}
+
+	check := func(name string, got, want any) {
+		t.Helper()
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: engine pass diverges from legacy scan\n got: %+v\nwant: %+v", name, got, want)
+		}
+	}
+
+	check("Table1", pass.Table1(catalogueCE), legacy.Table1(catalogueCE))
+	check("Table2", pass.Table2(10), legacy.Table2(10))
+	check("Figure3", pass.Figure3(), legacy.Figure3())
+	check("Figure4", pass.Figure4(), legacy.Figure4())
+	{
+		gf, gn := pass.By5G()
+		wf, wn := legacy.By5G()
+		check("By5G/5g", gf, wf)
+		check("By5G/non5g", gn, wn)
+	}
+	{
+		g9, g10 := pass.ByAndroidVersion()
+		w9, w10 := legacy.ByAndroidVersion()
+		check("ByAndroidVersion/9", g9, w9)
+		check("ByAndroidVersion/10", g10, w10)
+	}
+	check("ByISP", pass.ByISP(), legacy.ByISP())
+	check("Figure10", pass.Figure10(), legacy.Figure10())
+	check("Figure11", pass.Figure11(100), legacy.Figure11(100))
+	check("Figure14", pass.Figure14(), legacy.Figure14())
+	check("Figure15", pass.Figure15(), legacy.Figure15())
+	check("Figure16/4G", pass.Figure16(telephony.RAT4G), legacy.Figure16(telephony.RAT4G))
+	check("Figure16/5G", pass.Figure16(telephony.RAT5G), legacy.Figure16(telephony.RAT5G))
+
+	for _, kind := range []failure.Kind{failure.DataSetupError, failure.DataStall, failure.OutOfService} {
+		check("kindDurations/"+kind.String(), pass.kindDurations(kind), legacy.kindDurations(kind))
+	}
+	check("allDurations", pass.allDurations(), legacy.allDurations())
+	check("fiveGKindStats", pass.fiveGKindStats(), legacy.fiveGKindStats())
+
+	check("DurationByKind", pass.DurationByKind(), legacyDurationByKind(van))
+	check("ByRegion", pass.ByRegion(), legacyByRegion(van))
+	check("EstimateOpSuccess", pass.EstimateOpSuccess(), legacyEstimateOpSuccess(van))
+	check("TimeSeries", TimeSeries(van, 7*24*time.Hour), legacyTimeSeries(van, 7*24*time.Hour))
+	check("TimeSeries/day", TimeSeries(van, 24*time.Hour), legacyTimeSeries(van, 24*time.Hour))
+}
+
+// TestStandaloneWrappersMatchPass asserts the package-level convenience
+// functions agree with the shared Pass (each wrapper runs its own engine
+// pass, so this also exercises single-visitor passes).
+func TestStandaloneWrappersMatchPass(t *testing.T) {
+	van, _ := setup(t)
+	pass := NewPass(van)
+
+	if got, want := Table2(van, 10), pass.Table2(10); !reflect.DeepEqual(got, want) {
+		t.Errorf("Table2 wrapper: %+v != %+v", got, want)
+	}
+	if got, want := Figure3(van), pass.Figure3(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Figure3 wrapper: %+v != %+v", got, want)
+	}
+	if got, want := Figure11(van, 100), pass.Figure11(100); !reflect.DeepEqual(got, want) {
+		t.Errorf("Figure11 wrapper: %+v != %+v", got, want)
+	}
+	if got, want := Figure15(van), pass.Figure15(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Figure15 wrapper: %+v != %+v", got, want)
+	}
+}
+
+// TestReportMatchesLegacy renders the full markdown report through both
+// paths and requires byte equality — the strongest end-to-end check that
+// the engine rewrite changed nothing observable.
+func TestReportMatchesLegacy(t *testing.T) {
+	van, pat := setup(t)
+	cfg := ReportConfig{
+		Devices:   van.Population.Total,
+		Months:    4,
+		Seed:      17,
+		Catalogue: catalogueCE,
+	}
+	const elapsed = 42 * time.Second
+
+	engine := buildReportFrom(NewPass(van), NewPass(pat), cfg).Markdown(elapsed)
+	legacy := buildReportFrom(legacySource{van}, legacySource{pat}, cfg).Markdown(elapsed)
+	if engine != legacy {
+		t.Fatalf("report markdown diverges between engine and legacy paths\nengine %d bytes, legacy %d bytes", len(engine), len(legacy))
+	}
+
+	engineClaims := RenderClaims(checkClaimsFrom(NewPass(van)))
+	legacyClaims := RenderClaims(checkClaimsFrom(legacySource{van}))
+	if engineClaims != legacyClaims {
+		t.Fatalf("claims diverge:\nengine:\n%s\nlegacy:\n%s", engineClaims, legacyClaims)
+	}
+
+	engineGuide := guidelinesFrom(NewPass(van))
+	legacyGuide := guidelinesFrom(legacySource{van})
+	if !reflect.DeepEqual(engineGuide, legacyGuide) {
+		t.Fatalf("guidelines diverge:\nengine: %+v\nlegacy: %+v", engineGuide, legacyGuide)
+	}
+
+	engineEnh := compareEnhancementFrom(NewPass(van), NewPass(pat))
+	legacyEnh := compareEnhancementFrom(legacySource{van}, legacySource{pat})
+	if !reflect.DeepEqual(engineEnh, legacyEnh) {
+		t.Fatalf("enhancement comparison diverges:\nengine: %+v\nlegacy: %+v", engineEnh, legacyEnh)
+	}
+}

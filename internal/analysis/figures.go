@@ -1,10 +1,8 @@
 package analysis
 
 import (
-	"sort"
 	"time"
 
-	"repro/internal/android"
 	"repro/internal/failure"
 	"repro/internal/geo"
 	"repro/internal/stats"
@@ -27,31 +25,7 @@ type StallAutoFix struct {
 // Figure10 computes the stall self-recovery distribution from the probing
 // component's AutoFixTime measurements.
 func Figure10(in Input) StallAutoFix {
-	var xs []float64
-	var op1Exec, op1Fix int
-	in.Dataset.Each(func(e *failure.Event) {
-		if e.Kind != failure.DataStall {
-			return
-		}
-		if e.AutoFixTime > 0 {
-			xs = append(xs, e.AutoFixTime.Seconds())
-		}
-		if e.OpsExecuted >= 1 {
-			op1Exec++
-			if e.ResolvedBy == android.ResolvedOp1 {
-				op1Fix++
-			}
-		}
-	})
-	out := StallAutoFix{CDF: stats.NewECDF(xs)}
-	if len(xs) > 0 {
-		out.Under10 = out.CDF.P(10)
-		out.Under300 = out.CDF.P(300)
-	}
-	if op1Exec > 0 {
-		out.FirstOpFixRate = float64(op1Fix) / float64(op1Exec)
-	}
-	return out
+	return runOne(in.Dataset, newStallVisitor).figure10()
 }
 
 // BSRanking reproduces Figure 11: base stations ranked by experienced
@@ -70,57 +44,7 @@ type BSRanking struct {
 
 // Figure11 ranks BSes by failure count.
 func Figure11(in Input, topN int) BSRanking {
-	counts := map[uint64]uint64{}
-	urban := map[uint64]bool{}
-	in.Dataset.Each(func(e *failure.Event) {
-		id := e.Cell.GlobalID()
-		counts[id]++
-		if e.Region == geo.Urban || e.Region == geo.TransportHub {
-			urban[id] = true
-		}
-	})
-	type kv struct {
-		id uint64
-		n  uint64
-	}
-	list := make([]kv, 0, len(counts))
-	for id, n := range counts {
-		list = append(list, kv{id, n})
-	}
-	sort.Slice(list, func(i, j int) bool { return list[i].n > list[j].n })
-
-	out := BSRanking{}
-	var sum uint64
-	xs := make([]float64, len(list))
-	for i, e := range list {
-		out.Counts = append(out.Counts, e.n)
-		sum += e.n
-		xs[i] = float64(e.n)
-		if e.n > out.Max {
-			out.Max = e.n
-		}
-	}
-	if len(list) > 0 {
-		out.Mean = float64(sum) / float64(len(list))
-		ecdf := stats.NewECDF(xs)
-		out.Median = ecdf.Quantile(0.5)
-		if fit, err := stats.FitZipf(out.Counts); err == nil {
-			out.Fit = fit
-		}
-		if topN > len(list) {
-			topN = len(list)
-		}
-		urbanTop := 0
-		for _, e := range list[:topN] {
-			if urban[e.id] {
-				urbanTop++
-			}
-		}
-		if topN > 0 {
-			out.TopUrbanShare = float64(urbanTop) / float64(topN)
-		}
-	}
-	return out
+	return runOne(in.Dataset, func() *bsVisitor { return newBSVisitor(passHint(in.Dataset)) }).figure11(topN)
 }
 
 // RATPrevalence reproduces Figure 14: the prevalence of cellular failures
@@ -142,29 +66,7 @@ type RATPrevalence struct {
 
 // Figure14 computes per-RAT normalized failure prevalence.
 func Figure14(in Input) []RATPrevalence {
-	var events [5]int64
-	in.Dataset.Each(func(e *failure.Event) {
-		if int(e.RAT) < len(events) {
-			events[e.RAT]++
-		}
-	})
-	out := make([]RATPrevalence, 0, len(telephony.AllRATs))
-	for _, rat := range telephony.AllRATs {
-		row := RATPrevalence{RAT: rat, Events: events[rat]}
-		for l := 0; l < telephony.NumSignalLevels; l++ {
-			row.DwellHours += in.Dwell.Seconds[rat][l] / 3600
-		}
-		for _, bs := range in.Network.Stations {
-			if bs.Supports(rat) {
-				row.BSes++
-			}
-		}
-		if row.DwellHours > 0 {
-			row.Prevalence = float64(row.Events) / row.DwellHours * 1000
-		}
-		out = append(out, row)
-	}
-	return out
+	return runOne(in.Dataset, newRATVisitor).figure14(in.Dwell, in.Network)
 }
 
 // LevelPrevalence reproduces Figures 15 and 16: normalized prevalence
@@ -181,63 +83,13 @@ type LevelPrevalence struct {
 
 // Figure15 computes normalized prevalence per signal level across RATs.
 func Figure15(in Input) [telephony.NumSignalLevels]LevelPrevalence {
-	failing := [telephony.NumSignalLevels]map[uint64]bool{}
-	for l := range failing {
-		failing[l] = map[uint64]bool{}
-	}
-	in.Dataset.Each(func(e *failure.Event) {
-		if e.Level.Valid() {
-			failing[e.Level][e.DeviceID] = true
-		}
-	})
-	var out [telephony.NumSignalLevels]LevelPrevalence
-	for l := 0; l < telephony.NumSignalLevels; l++ {
-		var exposed int64
-		var seconds float64
-		for rat := 0; rat < 5; rat++ {
-			exposed += in.Dwell.DevicesExposed[rat][l]
-			seconds += in.Dwell.Seconds[rat][l]
-		}
-		row := LevelPrevalence{Level: telephony.SignalLevel(l), Exposed: exposed}
-		if exposed > 0 {
-			row.Raw = float64(len(failing[l])) / float64(exposed)
-			meanHours := seconds / float64(exposed) / 3600
-			if meanHours > 0 {
-				row.Normalized = row.Raw / meanHours
-			}
-		}
-		out[l] = row
-	}
-	return out
+	return runOne(in.Dataset, func() *deviceVisitor { return newDeviceVisitor(passHint(in.Dataset)) }).figure15(in.Dwell)
 }
 
 // Figure16 computes normalized prevalence per signal level for one RAT
 // (the paper contrasts 4G and 5G).
 func Figure16(in Input, rat telephony.RAT) [telephony.NumSignalLevels]LevelPrevalence {
-	failing := [telephony.NumSignalLevels]map[uint64]bool{}
-	for l := range failing {
-		failing[l] = map[uint64]bool{}
-	}
-	in.Dataset.Each(func(e *failure.Event) {
-		if e.RAT == rat && e.Level.Valid() {
-			failing[e.Level][e.DeviceID] = true
-		}
-	})
-	var out [telephony.NumSignalLevels]LevelPrevalence
-	for l := 0; l < telephony.NumSignalLevels; l++ {
-		exposed := in.Dwell.DevicesExposed[rat][l]
-		seconds := in.Dwell.Seconds[rat][l]
-		row := LevelPrevalence{Level: telephony.SignalLevel(l), Exposed: exposed}
-		if exposed > 0 {
-			row.Raw = float64(len(failing[l])) / float64(exposed)
-			meanHours := seconds / float64(exposed) / 3600
-			if meanHours > 0 {
-				row.Normalized = row.Raw / meanHours
-			}
-		}
-		out[l] = row
-	}
-	return out
+	return runOne(in.Dataset, func() *deviceVisitor { return newDeviceVisitor(passHint(in.Dataset)) }).figure16(in.Dwell, rat)
 }
 
 // TransitionIncrease reproduces one panel of Figure 17: the increase of
@@ -253,6 +105,8 @@ type TransitionIncrease struct {
 }
 
 // Figure17 computes the transition-failure increase panel for a RAT pair.
+// It reads only the transition matrix, not the event stream, so it needs
+// no engine pass.
 func Figure17(in Input, fromRAT, toRAT telephony.RAT) TransitionIncrease {
 	out := TransitionIncrease{FromRAT: fromRAT, ToRAT: toRAT}
 	var exp, fails int64
@@ -293,23 +147,7 @@ func Figure17Pairs() [6][2]telephony.RAT {
 // DurationByKind splits duration statistics per failure kind, used by the
 // enhancement evaluation.
 func DurationByKind(in Input) map[failure.Kind]DurationStats {
-	byKind := map[failure.Kind][]float64{}
-	totals := map[failure.Kind]time.Duration{}
-	in.Dataset.Each(func(e *failure.Event) {
-		byKind[e.Kind] = append(byKind[e.Kind], e.Duration.Seconds())
-		totals[e.Kind] += e.Duration
-	})
-	out := map[failure.Kind]DurationStats{}
-	for kind, xs := range byKind {
-		cdf := stats.NewECDF(xs)
-		out[kind] = DurationStats{
-			CDF:    cdf,
-			Mean:   time.Duration(cdf.Mean() * float64(time.Second)),
-			Median: time.Duration(cdf.Quantile(0.5) * float64(time.Second)),
-			Max:    time.Duration(cdf.Max() * float64(time.Second)),
-		}
-	}
-	return out
+	return runOne(in.Dataset, func() *kindDurationVisitor { return newKindDurationVisitor(passHint(in.Dataset)) }).durationByKind()
 }
 
 // RegionStats summarizes failures per deployment region (§3.1/§3.3: top
@@ -324,29 +162,7 @@ type RegionStats struct {
 
 // ByRegion computes per-region failure statistics.
 func ByRegion(in Input) []RegionStats {
-	var events [geo.NumRegions]int
-	var total [geo.NumRegions]time.Duration
-	var maxd [geo.NumRegions]time.Duration
-	in.Dataset.Each(func(e *failure.Event) {
-		r := e.Region
-		if int(r) >= geo.NumRegions {
-			return
-		}
-		events[r]++
-		total[r] += e.Duration
-		if e.Duration > maxd[r] {
-			maxd[r] = e.Duration
-		}
-	})
-	out := make([]RegionStats, 0, geo.NumRegions)
-	for r := geo.Region(0); r < geo.NumRegions; r++ {
-		rs := RegionStats{Region: r, Events: events[r], MaxDuration: maxd[r]}
-		if events[r] > 0 {
-			rs.MeanDuration = total[r] / time.Duration(events[r])
-		}
-		out = append(out, rs)
-	}
-	return out
+	return runOne(in.Dataset, newRegionVisitor).byRegion()
 }
 
 // OpSuccessEstimate is the measured per-stage recovery-operation fix rate.
@@ -363,28 +179,5 @@ type OpSuccessEstimate struct {
 // 75% for the first-stage cleanup the same way; the TIMP fit should use
 // these measured rates rather than assumptions.
 func EstimateOpSuccess(in Input) OpSuccessEstimate {
-	var est OpSuccessEstimate
-	var fixed [3]int
-	in.Dataset.Each(func(e *failure.Event) {
-		if e.Kind != failure.DataStall {
-			return
-		}
-		for stage := 0; stage < 3 && stage < e.OpsExecuted; stage++ {
-			est.Executions[stage]++
-		}
-		switch e.ResolvedBy {
-		case android.ResolvedOp1:
-			fixed[0]++
-		case android.ResolvedOp2:
-			fixed[1]++
-		case android.ResolvedOp3:
-			fixed[2]++
-		}
-	})
-	for i := 0; i < 3; i++ {
-		if est.Executions[i] > 0 {
-			est.Rates[i] = float64(fixed[i]) / float64(est.Executions[i])
-		}
-	}
-	return est
+	return runOne(in.Dataset, newStallVisitor).opSuccess()
 }

@@ -32,10 +32,14 @@ type Guideline struct {
 // each recommendation is emitted only when its supporting finding actually
 // holds in the data, with the measured numbers attached as evidence.
 func Guidelines(in Input) []Guideline {
+	return guidelinesFrom(NewPass(in))
+}
+
+func guidelinesFrom(src source) []Guideline {
 	var out []Guideline
 
 	// 5G modules raise failure rates → vendors should validate harder.
-	if fiveG, non5G := By5G(in); fiveG.Devices > 0 && non5G.Devices > 0 &&
+	if fiveG, non5G := src.By5G(); fiveG.Devices > 0 && non5G.Devices > 0 &&
 		fiveG.Frequency > non5G.Frequency {
 		out = append(out, Guideline{
 			Audience: AudienceVendor,
@@ -46,7 +50,7 @@ func Guidelines(in Input) []Guideline {
 	}
 
 	// Newer OS raises failure rates → test RAT policies before pushing.
-	if a9, a10 := ByAndroidVersion(in); a9.Devices > 0 && a10.Devices > 0 &&
+	if a9, a10 := src.ByAndroidVersion(); a9.Devices > 0 && a10.Devices > 0 &&
 		a10.Frequency > a9.Frequency {
 		out = append(out, Guideline{
 			Audience: AudienceOS,
@@ -58,7 +62,7 @@ func Guidelines(in Input) []Guideline {
 
 	// Idle 3G → ISPs can offload onto it.
 	rat := map[telephony.RAT]RATPrevalence{}
-	for _, r := range Figure14(in) {
+	for _, r := range src.Figure14() {
 		rat[r.RAT] = r
 	}
 	if r3, r4 := rat[telephony.RAT3G], rat[telephony.RAT4G]; r3.DwellHours > 0 &&
@@ -72,7 +76,7 @@ func Guidelines(in Input) []Guideline {
 	}
 
 	// Level-5 anomaly at dense deployments → control hub BS density.
-	levels := Figure15(in)
+	levels := src.Figure15()
 	anomaly := true
 	for l := 1; l <= 4; l++ {
 		if levels[5].Normalized <= levels[l].Normalized {
@@ -89,7 +93,7 @@ func Guidelines(in Input) []Guideline {
 	}
 
 	// ISP-B coverage gap.
-	isps := ByISP(in)
+	isps := src.ByISP()
 	if b, c := isps[simnet.ISPB], isps[simnet.ISPC]; b.Devices > 0 &&
 		b.Prevalence > c.Prevalence {
 		out = append(out, Guideline{
@@ -101,7 +105,7 @@ func Guidelines(in Input) []Guideline {
 	}
 
 	// Stall recovery is too conservative when self-healing dominates.
-	if f := Figure10(in); f.Under10 > 0.5 {
+	if f := src.Figure10(); f.Under10 > 0.5 {
 		out = append(out, Guideline{
 			Audience: AudienceOS,
 			Finding:  "most Data_Stall failures self-heal long before the one-minute probation expires",

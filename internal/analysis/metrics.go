@@ -1,0 +1,18 @@
+package analysis
+
+import "repro/internal/metrics"
+
+// Engine metrics: one pass may feed many figures, so throughput here is
+// the number the sharded-store refactor is accountable to.
+var (
+	mPasses = metrics.NewCounter("analysis_passes_total",
+		"Single-pass engine executions over a dataset.")
+	mPassSeconds = metrics.NewHistogram("analysis_pass_seconds",
+		"Wall-clock seconds per engine pass (visit plus merge).")
+	mEventsVisited = metrics.NewCounter("analysis_events_visited_total",
+		"Events delivered to visitor sets by the engine.")
+	mEventsPerSec = metrics.NewGauge("analysis_events_per_second",
+		"Event throughput of the most recent engine pass.")
+	mPassWorkers = metrics.NewGauge("analysis_pass_workers",
+		"Shard workers used by the most recent engine pass.")
+)

@@ -1,0 +1,178 @@
+package analysis
+
+import (
+	"repro/internal/failure"
+	"repro/internal/simnet"
+	"repro/internal/telephony"
+)
+
+// source is the figure-extraction surface the report, claims, guidelines
+// and enhancement layers are written against. Pass implements it with the
+// fused single-pass engine; the legacy multi-pass oracle in the tests
+// implements it with the original per-figure scans. The unexported methods
+// keep implementations inside this package.
+type source interface {
+	input() Input
+	Table1(catalogue []ModelCatalogueEntry) []ModelRow
+	Table2(topN int) []CauseRow
+	Figure3() FailuresPerPhone
+	Figure4() DurationStats
+	By5G() (fiveG, non5G GroupStats)
+	ByAndroidVersion() (android9, android10 GroupStats)
+	ByISP() [simnet.NumISPs]GroupStats
+	Figure10() StallAutoFix
+	Figure11(topN int) BSRanking
+	Figure14() []RATPrevalence
+	Figure15() [telephony.NumSignalLevels]LevelPrevalence
+	Figure16(rat telephony.RAT) [telephony.NumSignalLevels]LevelPrevalence
+	kindDurations(kind failure.Kind) []float64
+	allDurations() []float64
+	fiveGKindStats() map[failure.Kind]kindAgg
+}
+
+// passVisitor fuses every figure's visitor into one composite with a
+// concrete Visit, so the engine's hot loop pays one dynamic dispatch per
+// event instead of one per figure. The sub-visitor calls devirtualize and
+// the small ones inline.
+type passVisitor struct {
+	dev     *deviceVisitor
+	cause   *causeVisitor
+	dur     *durationVisitor
+	kindDur *kindDurationVisitor
+	stall   *stallVisitor
+	bs      *bsVisitor
+	rat     *ratVisitor
+	region  *regionVisitor
+}
+
+func newPassVisitor(hint int) *passVisitor {
+	return &passVisitor{
+		dev:     newDeviceVisitor(hint),
+		cause:   newCauseVisitor(),
+		dur:     newDurationVisitor(hint),
+		kindDur: newKindDurationVisitor(hint),
+		stall:   newStallVisitor(),
+		bs:      newBSVisitor(hint),
+		rat:     newRATVisitor(),
+		region:  newRegionVisitor(),
+	}
+}
+
+func (v *passVisitor) Visit(e *failure.Event) {
+	v.dev.Visit(e)
+	v.cause.Visit(e)
+	sec := e.Duration.Seconds()
+	v.dur.visitSec(e, sec)
+	v.kindDur.visitSec(e, sec)
+	v.stall.Visit(e)
+	v.bs.Visit(e)
+	v.rat.Visit(e)
+	v.region.Visit(e)
+}
+
+func (v *passVisitor) Merge(other Visitor) {
+	o := other.(*passVisitor)
+	v.dev.Merge(o.dev)
+	v.cause.Merge(o.cause)
+	v.dur.Merge(o.dur)
+	v.kindDur.Merge(o.kindDur)
+	v.stall.Merge(o.stall)
+	v.bs.Merge(o.bs)
+	v.rat.Merge(o.rat)
+	v.region.Merge(o.region)
+}
+
+// Pass holds the accumulated state of one engine pass over a dataset:
+// every figure's visitor, filled by a single parallel sweep. Build one
+// with NewPass and extract as many figures as needed; nothing rescans.
+type Pass struct {
+	in Input
+	*passVisitor
+}
+
+// NewPass runs the single fused pass over the input's dataset.
+func NewPass(in Input) *Pass {
+	hint := passHint(in.Dataset)
+	pv := runOne(in.Dataset, func() *passVisitor { return newPassVisitor(hint) })
+	return &Pass{in: in, passVisitor: pv}
+}
+
+func (p *Pass) input() Input { return p.in }
+
+// Table1 extracts the per-model prevalence/frequency table.
+func (p *Pass) Table1(catalogue []ModelCatalogueEntry) []ModelRow {
+	return p.dev.table1(p.in.Population, catalogue)
+}
+
+// Table2 extracts the top Data_Setup_Error cause rows.
+func (p *Pass) Table2(topN int) []CauseRow { return p.cause.table2(topN) }
+
+// Figure3 extracts the failures-per-phone distribution.
+func (p *Pass) Figure3() FailuresPerPhone { return p.dev.figure3(p.in.Population) }
+
+// Figure4 extracts the failure-duration distribution.
+func (p *Pass) Figure4() DurationStats { return p.dur.figure4() }
+
+// By5G extracts the 5G versus non-5G comparison.
+func (p *Pass) By5G() (fiveG, non5G GroupStats) { return p.dev.by5G(p.in.Population) }
+
+// ByAndroidVersion extracts the Android 9 versus 10 comparison.
+func (p *Pass) ByAndroidVersion() (android9, android10 GroupStats) {
+	return p.dev.byAndroidVersion(p.in.Population)
+}
+
+// ByISP extracts the per-ISP comparison.
+func (p *Pass) ByISP() [simnet.NumISPs]GroupStats { return p.dev.byISP(p.in.Population) }
+
+// Figure10 extracts the Data_Stall self-recovery distribution.
+func (p *Pass) Figure10() StallAutoFix { return p.stall.figure10() }
+
+// Figure11 extracts the BS failure ranking.
+func (p *Pass) Figure11(topN int) BSRanking { return p.bs.figure11(topN) }
+
+// Figure14 extracts per-RAT normalized failure prevalence.
+func (p *Pass) Figure14() []RATPrevalence { return p.rat.figure14(p.in.Dwell, p.in.Network) }
+
+// Figure15 extracts normalized prevalence per signal level across RATs.
+func (p *Pass) Figure15() [telephony.NumSignalLevels]LevelPrevalence {
+	return p.dev.figure15(p.in.Dwell)
+}
+
+// Figure16 extracts normalized prevalence per signal level for one RAT.
+func (p *Pass) Figure16(rat telephony.RAT) [telephony.NumSignalLevels]LevelPrevalence {
+	return p.dev.figure16(p.in.Dwell, rat)
+}
+
+// Figure17 extracts the transition-failure increase panel for a RAT pair
+// (pure: derived from the transition matrix, not the event stream).
+func (p *Pass) Figure17(fromRAT, toRAT telephony.RAT) TransitionIncrease {
+	return Figure17(p.in, fromRAT, toRAT)
+}
+
+// DurationByKind extracts per-kind duration statistics.
+func (p *Pass) DurationByKind() map[failure.Kind]DurationStats {
+	return p.kindDur.durationByKind()
+}
+
+// ByRegion extracts per-region failure statistics.
+func (p *Pass) ByRegion() []RegionStats { return p.region.byRegion() }
+
+// EstimateOpSuccess extracts the per-stage recovery-operation fix rates.
+func (p *Pass) EstimateOpSuccess() OpSuccessEstimate { return p.stall.opSuccess() }
+
+// HardwareCorrelation extracts the §3.2 feature-correlation table.
+func (p *Pass) HardwareCorrelation(catalogue []ModelCatalogueEntry) []FeatureCorrelation {
+	return hardwareCorrelationFromRows(p.Table1(catalogue), catalogue)
+}
+
+// Claims evaluates every paper claim against this pass.
+func (p *Pass) Claims() []ClaimResult { return checkClaimsFrom(p) }
+
+// Guidelines derives the §4.1 guidance from this pass.
+func (p *Pass) Guidelines() []Guideline { return guidelinesFrom(p) }
+
+func (p *Pass) kindDurations(kind failure.Kind) []float64 { return p.kindDur.kindDurations(kind) }
+
+func (p *Pass) allDurations() []float64 { return p.dur.durs }
+
+func (p *Pass) fiveGKindStats() map[failure.Kind]kindAgg { return p.dev.fiveGKindStats() }

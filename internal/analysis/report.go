@@ -64,12 +64,21 @@ type TIMPSummary struct {
 }
 
 // BuildReport assembles the full reproduction report from a vanilla input
-// and (optionally) a patched input for the enhancement section.
+// and (optionally) a patched input for the enhancement section. Each input
+// is scanned exactly once by the fused engine pass.
 func BuildReport(vanilla Input, patched *Input, cfg ReportConfig) *Report {
+	var psrc source
+	if patched != nil {
+		psrc = NewPass(*patched)
+	}
+	return buildReportFrom(NewPass(vanilla), psrc, cfg)
+}
+
+func buildReportFrom(vanilla, patched source, cfg ReportConfig) *Report {
 	r := &Report{Devices: cfg.Devices, Months: cfg.Months, Seed: cfg.Seed}
 
-	f3 := Figure3(vanilla)
-	f4 := Figure4(vanilla)
+	f3 := vanilla.Figure3()
+	f4 := vanilla.Figure4()
 	r.GeneralRows = []PaperReference{
 		{"Mean failures per phone", "33", fmt.Sprintf("%.1f", f3.Mean)},
 		{"Data_Setup_Error per phone", "16", fmt.Sprintf("%.1f", f3.MeanPerKind[failure.DataSetupError])},
@@ -84,28 +93,29 @@ func BuildReport(vanilla Input, patched *Input, cfg ReportConfig) *Report {
 		{"Data_Stall share of total duration", "94%", fmt.Sprintf("%.1f%%", f4.StallShareOfDuration*100)},
 	}
 
+	table1 := vanilla.Table1(cfg.Catalogue)
 	r.addSection("Table 1 — per-model prevalence and frequency", "",
-		nil, RenderTable1(Table1(vanilla, cfg.Catalogue)))
+		nil, RenderTable1(table1))
 	r.addSection("Table 2 — top Data_Setup_Error codes", "",
-		nil, RenderTable2(Table2(vanilla, 10)))
+		nil, RenderTable2(vanilla.Table2(10)))
 	r.addSection("Hardware-configuration correlation (§3.2)",
 		"Better hardware does not relieve failures; 5G capability and Android version drive them.",
-		nil, RenderCorrelation(HardwareCorrelation(vanilla, cfg.Catalogue)))
+		nil, RenderCorrelation(hardwareCorrelationFromRows(table1, cfg.Catalogue)))
 
-	f5g, fn5g := By5G(vanilla)
-	a9, a10 := ByAndroidVersion(vanilla)
+	f5g, fn5g := vanilla.By5G()
+	a9, a10 := vanilla.ByAndroidVersion()
 	r.addSection("Figures 6–9 — 5G and Android-version landscape",
 		"Paper: 5G phones fail more than non-5G; Android 10 more than Android 9.",
 		groupRows([]GroupStats{f5g, fn5g, a9, a10}), "")
 
-	f10 := Figure10(vanilla)
+	f10 := vanilla.Figure10()
 	r.addSection("Figure 10 — Data_Stall self-recovery", "", []PaperReference{
 		{"Fixed within 10 s", "60%", fmt.Sprintf("%.1f%%", f10.Under10*100)},
 		{"Fixed within 300 s", ">80%", fmt.Sprintf("%.1f%%", f10.Under300*100)},
 		{"First-stage cleanup fix rate", "75%", fmt.Sprintf("%.1f%%", f10.FirstOpFixRate*100)},
 	}, "")
 
-	f11 := Figure11(vanilla, 100)
+	f11 := vanilla.Figure11(100)
 	r.addSection("Figure 11 — BS ranking by failures",
 		"At simulation scale the fit is steeper and the median higher than the paper's 5.3M-BS census; the Zipf shape holds.",
 		[]PaperReference{
@@ -117,7 +127,7 @@ func BuildReport(vanilla Input, patched *Input, cfg ReportConfig) *Report {
 			{"Top-100 BSes in crowded areas", "mostly", fmt.Sprintf("%.0f%%", f11.TopUrbanShare*100)},
 		}, "")
 
-	isps := ByISP(vanilla)
+	isps := vanilla.ByISP()
 	paperISP := []string{"20.1%", "27.1%", "14.7%"}
 	var ispRows []PaperReference
 	for i, g := range isps {
@@ -130,7 +140,7 @@ func BuildReport(vanilla Input, patched *Input, cfg ReportConfig) *Report {
 	r.addSection("Figures 12/13 — ISP discrepancy", "Ordering B > A > C.", ispRows, "")
 
 	var ratRows []PaperReference
-	for _, row := range Figure14(vanilla) {
+	for _, row := range vanilla.Figure14() {
 		ratRows = append(ratRows, PaperReference{
 			Metric:   row.RAT.String() + " failure rate",
 			Paper:    ratOrderNote(row.RAT),
@@ -142,14 +152,14 @@ func BuildReport(vanilla Input, patched *Input, cfg ReportConfig) *Report {
 
 	r.addSection("Figure 15 — normalized prevalence by signal level",
 		"Levels 0→4 decrease monotonically; level 5 jumps above levels 1–4 (transport hubs).",
-		nil, RenderLevels("all RATs", Figure15(vanilla)))
+		nil, RenderLevels("all RATs", vanilla.Figure15()))
 	r.addSection("Figure 16 — per-RAT signal levels", "", nil,
-		RenderLevels("4G", Figure16(vanilla, telephony.RAT4G))+
-			RenderLevels("5G", Figure16(vanilla, telephony.RAT5G)))
+		RenderLevels("4G", vanilla.Figure16(telephony.RAT4G))+
+			RenderLevels("5G", vanilla.Figure16(telephony.RAT5G)))
 
 	var worstRows []PaperReference
 	for _, pair := range Figure17Pairs() {
-		p := Figure17(vanilla, pair[0], pair[1])
+		p := Figure17(vanilla.input(), pair[0], pair[1])
 		wi, wj, worst := -1, -1, 0.0
 		for i := 0; i < telephony.NumSignalLevels; i++ {
 			for j := 0; j < telephony.NumSignalLevels; j++ {
@@ -184,7 +194,7 @@ func BuildReport(vanilla Input, patched *Input, cfg ReportConfig) *Report {
 	}
 
 	if patched != nil {
-		rep := CompareEnhancement(vanilla, *patched)
+		rep := compareEnhancementFrom(vanilla, patched)
 		rows := []PaperReference{
 			{"5G failure frequency change", "−40.3%", fmt.Sprintf("%+.1f%%", rep.FiveGFrequencyChange*100)},
 			{"5G failure prevalence change", "−10%", fmt.Sprintf("%+.1f%%", rep.FiveGPrevalenceChange*100)},
@@ -216,7 +226,7 @@ func BuildReport(vanilla Input, patched *Input, cfg ReportConfig) *Report {
 		}, "")
 	}
 
-	if gs := Guidelines(vanilla); len(gs) > 0 {
+	if gs := guidelinesFrom(vanilla); len(gs) > 0 {
 		r.addSection("Guidelines derived from the data (§4.1)", "", nil, RenderGuidelines(gs))
 	}
 

@@ -20,25 +20,7 @@ func TimeSeries(in Input, bucket time.Duration) []TimeBucket {
 	if bucket <= 0 {
 		bucket = 7 * 24 * time.Hour
 	}
-	var maxStart time.Duration
-	in.Dataset.Each(func(e *failure.Event) {
-		if e.Start > maxStart {
-			maxStart = e.Start
-		}
-	})
-	n := int(maxStart/bucket) + 1
-	out := make([]TimeBucket, n)
-	for i := range out {
-		out[i] = TimeBucket{Start: time.Duration(i) * bucket, ByKind: map[failure.Kind]int{}}
-	}
-	in.Dataset.Each(func(e *failure.Event) {
-		i := int(e.Start / bucket)
-		if i >= 0 && i < n {
-			out[i].Total++
-			out[i].ByKind[e.Kind]++
-		}
-	})
-	return out
+	return runOne(in.Dataset, func() *timeSeriesVisitor { return newTimeSeriesVisitor(bucket) }).series()
 }
 
 // SpikeIndex measures how bursty a series is: the maximum bucket divided

@@ -250,7 +250,10 @@ func runShard(s *Scenario, network *simnet.Network, dataset *trace.Dataset, mode
 			out.err = fmt.Errorf("fleet: upload shard events: %w", err)
 		}
 	} else {
-		dataset.Append(buffer...)
+		// Pin the shard to the worker index: appends from different
+		// workers never contend, and a fixed seed yields the same
+		// dataset iteration order for any worker count.
+		dataset.AppendShard(shard, buffer...)
 	}
 	return out
 }

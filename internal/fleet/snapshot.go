@@ -76,8 +76,7 @@ func (r *Result) Snapshot() *Snapshot {
 // Restore rebuilds an analyzable Result. The scenario carries only the
 // recorded identifying fields; it cannot be re-run as-is.
 func (s *Snapshot) Restore() *Result {
-	ds := trace.NewDataset()
-	ds.Append(s.Events...)
+	ds := trace.FromEvents(s.Events)
 	stations := make([]*simnet.BaseStation, len(s.Stations))
 	for i := range s.Stations {
 		bs := s.Stations[i]

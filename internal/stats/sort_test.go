@@ -1,0 +1,63 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestSortFloatsMatchesStdlib pins the radix path to sort.Float64s on
+// inputs chosen to stress it: sizes straddling the radix threshold,
+// negative values, infinities, signed zeros, denormals, and heavy
+// duplication (the duration-data shape the skip-constant-digit pass
+// optimization targets).
+func TestSortFloatsMatchesStdlib(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	cases := [][]float64{
+		nil,
+		{},
+		{3, 1, 2},
+		{math.Inf(1), math.Inf(-1), 0, math.Copysign(0, -1), 1e-308, -1e-308},
+	}
+	for _, n := range []int{radixMinLen - 1, radixMinLen, radixMinLen + 1, 3 * radixMinLen} {
+		mixed := make([]float64, n)
+		dups := make([]float64, n)
+		for i := range mixed {
+			mixed[i] = (r.Float64() - 0.5) * math.Pow(10, float64(r.Intn(20)-10))
+			dups[i] = float64(1 + r.Intn(300)) // integral seconds, like durations
+		}
+		cases = append(cases, mixed, dups)
+	}
+	for _, xs := range cases {
+		want := append([]float64(nil), xs...)
+		sort.Float64s(want)
+		got := append([]float64(nil), xs...)
+		sortFloats(got)
+		if len(got) != len(want) {
+			t.Fatalf("length changed: %d -> %d", len(want), len(got))
+		}
+		for i := range want {
+			if got[i] != want[i] || math.Signbit(got[i]) != math.Signbit(want[i]) {
+				t.Fatalf("n=%d index %d: got %v want %v", len(xs), i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSortFloatsNaNFallback checks NaN inputs still end up sorted the way
+// sort.Float64s leaves them (NaNs first in Go's float ordering).
+func TestSortFloatsNaNFallback(t *testing.T) {
+	xs := make([]float64, radixMinLen)
+	for i := range xs {
+		xs[i] = float64(radixMinLen - i)
+	}
+	xs[17] = math.NaN()
+	sortFloats(xs)
+	if !math.IsNaN(xs[0]) {
+		t.Errorf("NaN not sorted first: %v", xs[0])
+	}
+	if !sort.Float64sAreSorted(xs) {
+		t.Error("fallback output not sorted")
+	}
+}

@@ -78,7 +78,7 @@ func (e *ECDF) Add(x float64) {
 // Finalize sorts the sample; it is idempotent.
 func (e *ECDF) Finalize() {
 	if !e.finalized {
-		sort.Float64s(e.xs)
+		sortFloats(e.xs)
 		e.finalized = true
 	}
 }

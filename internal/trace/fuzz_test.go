@@ -16,7 +16,7 @@ func FuzzReadBatch(f *testing.F) {
 	f.Add([]byte{0, 0, 0, 4, 1, 2, 3, 4})
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
 	f.Fuzz(func(t *testing.T, data []byte) {
-		b, err := ReadBatch(bytesReader(data))
+		b, _, err := ReadBatch(bytesReader(data))
 		if err != nil {
 			return
 		}

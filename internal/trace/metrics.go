@@ -22,7 +22,7 @@ var (
 	mColDropped = metrics.NewCounter("trace_collector_batches_dropped_total",
 		"Connections dropped on a malformed or truncated batch read.")
 	mColRxBytes = metrics.NewCounter("trace_collector_rx_bytes_total",
-		"Approximate payload bytes received by collectors.")
+		"Wire bytes received by collectors (length prefix plus compressed payload).")
 	mDatasetEvents = metrics.NewGauge("trace_dataset_events",
 		"Events in the serving process's primary dataset (set by collectors and cellserve).")
 	mUploadSeconds = metrics.NewHistogram("trace_upload_seconds",

@@ -1,0 +1,207 @@
+package trace
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/failure"
+)
+
+// TestUploaderConcurrentRecordDuringFlush hammers Record from several
+// goroutines while Flush runs concurrently. Run under -race this catches
+// the historical aliasing bug where Flush handed gob a view of the live
+// pending array with the mutex released; the loss check catches any
+// re-base that drops events recorded mid-flight.
+func TestUploaderConcurrentRecordDuringFlush(t *testing.T) {
+	ds := NewDataset()
+	col, err := NewCollector("127.0.0.1:0", ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+
+	up := NewUploader(col.Addr(), 7)
+	up.SetWiFi(true)
+
+	const (
+		writers      = 4
+		perWriter    = 200
+		totalRecords = writers * perWriter
+	)
+	events := sampleEvents(totalRecords)
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				up.Record(events[w*perWriter+i])
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	var fwg sync.WaitGroup
+	fwg.Add(1)
+	go func() {
+		defer fwg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				up.Flush() // races against the writers on purpose
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	fwg.Wait()
+
+	// Drain whatever the racing flusher left behind.
+	for up.Pending() > 0 {
+		if err := up.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool { return ds.Len() == totalRecords })
+	if got := ds.Len(); got != totalRecords {
+		t.Fatalf("collector stored %d events, recorded %d", got, totalRecords)
+	}
+}
+
+// TestCollectorCloseWithIdleConnection dials a connection that never sends
+// a batch and asserts Close still returns promptly. Before Close learned
+// to force-close open connections, the serve goroutine parked in ReadBatch
+// kept the WaitGroup waiting forever.
+func TestCollectorCloseWithIdleConnection(t *testing.T) {
+	col, err := NewCollector("127.0.0.1:0", NewDataset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", col.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Give the accept loop a moment to hand the conn to a serve goroutine,
+	// so Close actually has an in-flight idle connection to unblock.
+	time.Sleep(50 * time.Millisecond)
+
+	closed := make(chan error, 1)
+	go func() { closed <- col.Close() }()
+	select {
+	case err := <-closed:
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Collector.Close hung on an idle connection")
+	}
+}
+
+// TestWriteBatchOversized asserts the writer refuses a payload above the
+// wire limit instead of silently truncating the uint32 length prefix.
+func TestWriteBatchOversized(t *testing.T) {
+	var buf bytesBuffer
+	b := &Batch{DeviceID: 1, Events: sampleEvents(100)}
+	n, err := writeBatchLimit(&buf, b, 16) // tiny limit forces the oversize path
+	if err == nil {
+		t.Fatal("writeBatchLimit accepted an oversized batch")
+	}
+	if !strings.Contains(err.Error(), "exceeds wire limit") {
+		t.Errorf("unexpected error: %v", err)
+	}
+	if n != 0 || len(buf) != 0 {
+		t.Errorf("oversized batch leaked %d reported / %d written bytes onto the wire", n, len(buf))
+	}
+}
+
+// TestDatasetShardDeterminism asserts shard-pinned appends reproduce the
+// same Each order regardless of append interleaving across shards, and
+// that FromEvents preserves the flat input order.
+func TestDatasetShardDeterminism(t *testing.T) {
+	events := sampleEvents(97)
+
+	build := func(interleave bool) []failure.Event {
+		ds := NewDatasetShards(4)
+		if interleave {
+			// Round-robin one event at a time across shards.
+			for i, e := range events {
+				ds.AppendShard(i%4, e)
+			}
+		} else {
+			// Bulk per shard, shards in reverse order.
+			for s := 3; s >= 0; s-- {
+				var chunk []failure.Event
+				for i := s; i < len(events); i += 4 {
+					chunk = append(chunk, events[i])
+				}
+				ds.AppendShard(s, chunk...)
+			}
+		}
+		var out []failure.Event
+		ds.Each(func(e *failure.Event) { out = append(out, *e) })
+		return out
+	}
+
+	a, b := build(true), build(false)
+	if len(a) != len(events) || len(b) != len(events) {
+		t.Fatalf("lost events: %d and %d of %d", len(a), len(b), len(events))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Each order depends on append interleaving at index %d", i)
+		}
+	}
+
+	ds := FromEvents(events)
+	var flat []failure.Event
+	ds.Each(func(e *failure.Event) { flat = append(flat, *e) })
+	if len(flat) != len(events) {
+		t.Fatalf("FromEvents lost events: %d of %d", len(flat), len(events))
+	}
+	for i := range flat {
+		if flat[i] != events[i] {
+			t.Fatalf("FromEvents changed Each order at index %d", i)
+		}
+	}
+}
+
+// TestDatasetConcurrentAppendEach appends from several goroutines while a
+// reader iterates; under -race this validates the snapshot discipline
+// (published segments are immutable, Each never observes a torn append).
+func TestDatasetConcurrentAppendEach(t *testing.T) {
+	ds := NewDataset()
+	events := sampleEvents(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				ds.Append(events...)
+			}
+		}()
+	}
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for i := 0; i < 20; i++ {
+			n := 0
+			ds.Each(func(e *failure.Event) { n++ })
+			if n%len(events) != 0 {
+				t.Errorf("Each observed a torn append: %d events", n)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-readerDone
+	if got, want := ds.Len(), 8*50*len(events); got != want {
+		t.Fatalf("Len = %d, want %d", got, want)
+	}
+}

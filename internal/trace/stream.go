@@ -74,7 +74,7 @@ func (sr *StreamReader) Next() (*failure.Event, error) {
 		return nil, sr.err
 	}
 	for sr.idx >= len(sr.cur) {
-		b, err := ReadBatch(sr.br)
+		b, _, err := ReadBatch(sr.br)
 		if err != nil {
 			sr.err = err
 			return nil, err

@@ -17,6 +17,7 @@ import (
 	"net"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/failure"
@@ -29,12 +30,20 @@ type Batch struct {
 	Events   []failure.Event
 }
 
-// maxBatchWire caps a decoded batch's wire size (64 MiB) so a corrupt
-// length prefix cannot drive an allocation bomb.
+// maxBatchWire caps a batch's wire size (64 MiB) in both directions: a
+// corrupt length prefix cannot drive an allocation bomb on the reader,
+// and a writer refuses to emit a frame the reader would reject.
 const maxBatchWire = 64 << 20
 
 // WriteBatch writes a length-prefixed, gzip-compressed, gob-encoded batch.
+// A payload exceeding maxBatchWire is an error: emitting it would at best
+// be rejected by every reader and at worst (past 4 GiB) silently truncate
+// the uint32 length prefix and corrupt the stream.
 func WriteBatch(w io.Writer, b *Batch) (int, error) {
+	return writeBatchLimit(w, b, maxBatchWire)
+}
+
+func writeBatchLimit(w io.Writer, b *Batch, limit int) (int, error) {
 	var payload bytesBuffer
 	zw := gzip.NewWriter(&payload)
 	if err := gob.NewEncoder(zw).Encode(b); err != nil {
@@ -42,6 +51,9 @@ func WriteBatch(w io.Writer, b *Batch) (int, error) {
 	}
 	if err := zw.Close(); err != nil {
 		return 0, fmt.Errorf("trace: compress batch: %w", err)
+	}
+	if len(payload) > limit {
+		return 0, fmt.Errorf("trace: batch payload %d bytes exceeds wire limit %d; split the batch", len(payload), limit)
 	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
@@ -54,34 +66,36 @@ func WriteBatch(w io.Writer, b *Batch) (int, error) {
 	return 4 + len(payload), nil
 }
 
-// ReadBatch reads one batch written by WriteBatch. It returns io.EOF when
-// the stream ends cleanly at a batch boundary.
-func ReadBatch(r io.Reader) (*Batch, error) {
+// ReadBatch reads one batch written by WriteBatch, returning the batch and
+// its exact wire size (length prefix + compressed payload) so callers can
+// account real network bytes. It returns io.EOF when the stream ends
+// cleanly at a batch boundary.
+func ReadBatch(r io.Reader) (*Batch, int, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		if err == io.EOF {
-			return nil, io.EOF
+			return nil, 0, io.EOF
 		}
-		return nil, fmt.Errorf("trace: read batch header: %w", err)
+		return nil, 0, fmt.Errorf("trace: read batch header: %w", err)
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n == 0 || n > maxBatchWire {
-		return nil, fmt.Errorf("trace: implausible batch size %d", n)
+		return nil, 0, fmt.Errorf("trace: implausible batch size %d", n)
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, fmt.Errorf("trace: read batch payload: %w", err)
+		return nil, 0, fmt.Errorf("trace: read batch payload: %w", err)
 	}
 	zr, err := gzip.NewReader(bytesReader(payload))
 	if err != nil {
-		return nil, fmt.Errorf("trace: decompress batch: %w", err)
+		return nil, 0, fmt.Errorf("trace: decompress batch: %w", err)
 	}
 	defer zr.Close()
 	var b Batch
 	if err := gob.NewDecoder(zr).Decode(&b); err != nil {
-		return nil, fmt.Errorf("trace: decode batch: %w", err)
+		return nil, 0, fmt.Errorf("trace: decode batch: %w", err)
 	}
-	return &b, nil
+	return &b, 4 + int(n), nil
 }
 
 // bytesBuffer is a minimal append-only buffer implementing io.Writer.
@@ -105,38 +119,132 @@ func (r *sliceReader) Read(p []byte) (int, error) {
 	return n, nil
 }
 
+// DefaultShards is the shard count of NewDataset. Sixteen comfortably
+// exceeds the fleet's default worker count, so pinned appenders rarely
+// share a shard, while keeping per-shard segments large enough for the
+// analysis engine to amortize its per-shard visitor setup.
+const DefaultShards = 16
+
 // Dataset is the centralized event store the analysis pipeline reads.
-// It is safe for concurrent appends (fleet shards and collector
-// connections feed it in parallel).
+// Events live in per-shard append-only segment lists: concurrent
+// producers (fleet shards, collector connections) append to distinct
+// shards without contending on one global mutex, and the analysis engine
+// runs one worker per shard. A published segment is never mutated, so
+// iteration only locks a shard long enough to snapshot its segment list.
+//
+// Iteration order is deterministic for deterministic producers: shards
+// are visited in index order, segments within a shard in publish order.
+// Fleet workers pin their shard via AppendShard, so a fixed-seed run
+// yields the same Each order for any worker count.
 type Dataset struct {
-	mu     sync.RWMutex
-	events []failure.Event
+	shards []datasetShard
+	rr     atomic.Uint64 // round-robin cursor for unpinned Appends
 }
 
-// NewDataset returns an empty dataset.
-func NewDataset() *Dataset { return &Dataset{} }
+type datasetShard struct {
+	mu   sync.Mutex
+	segs [][]failure.Event
+	n    atomic.Int64
+}
 
-// Append adds events.
+// snapshot returns the shard's current segment list. The returned slice
+// is capped at its length, so a concurrent append (which only ever grows
+// segs) cannot alias into it; segments themselves are immutable.
+func (sh *datasetShard) snapshot() [][]failure.Event {
+	sh.mu.Lock()
+	segs := sh.segs[:len(sh.segs):len(sh.segs)]
+	sh.mu.Unlock()
+	return segs
+}
+
+// NewDataset returns an empty dataset with DefaultShards shards.
+func NewDataset() *Dataset { return NewDatasetShards(DefaultShards) }
+
+// NewDatasetShards returns an empty dataset with n shards (min 1).
+func NewDatasetShards(n int) *Dataset {
+	if n < 1 {
+		n = 1
+	}
+	return &Dataset{shards: make([]datasetShard, n)}
+}
+
+// FromEvents builds a dataset from an ordered event slice, partitioning
+// it into contiguous per-shard chunks so Each preserves the slice order.
+func FromEvents(events []failure.Event) *Dataset {
+	d := NewDataset()
+	ns := len(d.shards)
+	base, rem := len(events)/ns, len(events)%ns
+	off := 0
+	for s := 0; s < ns; s++ {
+		n := base
+		if s < rem {
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		seg := append([]failure.Event(nil), events[off:off+n]...)
+		off += n
+		sh := &d.shards[s]
+		sh.segs = append(sh.segs, seg)
+		sh.n.Store(int64(n))
+	}
+	return d
+}
+
+// NumShards returns the dataset's shard count.
+func (d *Dataset) NumShards() int { return len(d.shards) }
+
+// Append adds events to a shard chosen round-robin. Each call publishes
+// one segment; producers that need deterministic placement should use
+// AppendShard.
 func (d *Dataset) Append(events ...failure.Event) {
-	d.mu.Lock()
-	d.events = append(d.events, events...)
-	d.mu.Unlock()
+	d.AppendShard(int(d.rr.Add(1)-1)%len(d.shards), events...)
+}
+
+// AppendShard adds events to shard (mod NumShards) as one immutable
+// segment. The events are copied, so the caller may reuse its buffer.
+func (d *Dataset) AppendShard(shard int, events ...failure.Event) {
+	if len(events) == 0 {
+		return
+	}
+	seg := append([]failure.Event(nil), events...)
+	sh := &d.shards[shard%len(d.shards)]
+	sh.mu.Lock()
+	sh.segs = append(sh.segs, seg)
+	sh.n.Add(int64(len(seg)))
+	sh.mu.Unlock()
 }
 
 // Len returns the number of stored events.
 func (d *Dataset) Len() int {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	return len(d.events)
+	var n int64
+	for i := range d.shards {
+		n += d.shards[i].n.Load()
+	}
+	return int(n)
 }
 
-// Each calls fn for every event. fn must not retain pointers into the
-// event's Transition across calls if it mutates the dataset.
+// ShardLen returns the number of events in shard (mod NumShards).
+func (d *Dataset) ShardLen(shard int) int {
+	return int(d.shards[shard%len(d.shards)].n.Load())
+}
+
+// Each calls fn for every event: shards in index order, segments in
+// publish order. fn must not retain the pointer across calls.
 func (d *Dataset) Each(fn func(*failure.Event)) {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	for i := range d.events {
-		fn(&d.events[i])
+	for s := range d.shards {
+		d.EachShard(s, fn)
+	}
+}
+
+// EachShard calls fn for every event in shard (mod NumShards), in
+// publish order. Distinct shards may be iterated concurrently.
+func (d *Dataset) EachShard(shard int, fn func(*failure.Event)) {
+	for _, seg := range d.shards[shard%len(d.shards)].snapshot() {
+		for i := range seg {
+			fn(&seg[i])
+		}
 	}
 }
 
@@ -145,14 +253,15 @@ func (d *Dataset) Each(fn func(*failure.Event)) {
 // batches arrive; snapshot servers (cellserve) call it once on load.
 func (d *Dataset) ExposeSize() { mDatasetEvents.Set(float64(d.Len())) }
 
-// Events returns a copy of all stored events.
+// Events returns a copy of all stored events in Each order.
 func (d *Dataset) Events() []failure.Event {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	return append([]failure.Event(nil), d.events...)
+	out := make([]failure.Event, 0, d.Len())
+	d.Each(func(e *failure.Event) { out = append(out, *e) })
+	return out
 }
 
-// SaveFile persists the dataset as a single gzip+gob stream.
+// SaveFile persists the dataset as a single gzip+gob stream. The on-disk
+// format is a flat event slice in Each order, independent of sharding.
 func (d *Dataset) SaveFile(path string) error {
 	f, err := os.Create(path)
 	if err != nil {
@@ -161,10 +270,7 @@ func (d *Dataset) SaveFile(path string) error {
 	defer f.Close()
 	bw := bufio.NewWriter(f)
 	zw := gzip.NewWriter(bw)
-	d.mu.RLock()
-	err = gob.NewEncoder(zw).Encode(d.events)
-	d.mu.RUnlock()
-	if err != nil {
+	if err := gob.NewEncoder(zw).Encode(d.Events()); err != nil {
 		return fmt.Errorf("trace: save dataset: %w", err)
 	}
 	if err := zw.Close(); err != nil {
@@ -192,7 +298,65 @@ func LoadFile(path string) (*Dataset, error) {
 	if err := gob.NewDecoder(zr).Decode(&events); err != nil {
 		return nil, fmt.Errorf("trace: load dataset: %w", err)
 	}
-	return &Dataset{events: events}, nil
+	return FromEvents(events), nil
+}
+
+// Filter returns a new dataset with the events matching pred, preserving
+// the source's shard layout (events stay in their shard).
+func (d *Dataset) Filter(pred func(*failure.Event) bool) *Dataset {
+	out := NewDatasetShards(len(d.shards))
+	for s := range d.shards {
+		var seg []failure.Event
+		d.EachShard(s, func(e *failure.Event) {
+			if pred(e) {
+				seg = append(seg, *e)
+			}
+		})
+		if len(seg) > 0 {
+			sh := &out.shards[s]
+			sh.segs = append(sh.segs, seg)
+			sh.n.Store(int64(len(seg)))
+		}
+	}
+	return out
+}
+
+// Merge combines datasets into a new one whose shard list is the
+// concatenation of the sources' shards, so Each order is all of the
+// first dataset's events, then the second's, and so on. Segments are
+// shared with the sources (they are immutable), not copied.
+func Merge(ds ...*Dataset) *Dataset {
+	total := 0
+	for _, d := range ds {
+		if d != nil {
+			total += len(d.shards)
+		}
+	}
+	if total == 0 {
+		return NewDataset()
+	}
+	out := &Dataset{shards: make([]datasetShard, total)}
+	i := 0
+	for _, d := range ds {
+		if d == nil {
+			continue
+		}
+		for s := range d.shards {
+			segs := d.shards[s].snapshot()
+			sh := &out.shards[i]
+			i++
+			if len(segs) == 0 {
+				continue
+			}
+			sh.segs = segs
+			var n int64
+			for _, seg := range segs {
+				n += int64(len(seg))
+			}
+			sh.n.Store(n)
+		}
+	}
+	return out
 }
 
 // Collector is the backend TCP server that receives uploaded batches.
@@ -204,6 +368,7 @@ type Collector struct {
 	ds *Dataset
 
 	mu        sync.Mutex
+	conns     map[net.Conn]struct{}
 	batches   int
 	rxBytes   int64
 	closed    bool
@@ -225,7 +390,7 @@ func NewCollector(addr string, ds *Dataset) (*Collector, error) {
 		ln.Close()
 		return nil, err
 	}
-	c := &Collector{ln: ln, ds: ds, quantiles: qs}
+	c := &Collector{ln: ln, ds: ds, conns: make(map[net.Conn]struct{}), quantiles: qs}
 	c.wg.Add(1)
 	go c.acceptLoop()
 	return c, nil
@@ -234,7 +399,7 @@ func NewCollector(addr string, ds *Dataset) (*Collector, error) {
 // Addr returns the collector's listen address.
 func (c *Collector) Addr() string { return c.ln.Addr().String() }
 
-// Stats returns the number of batches and payload bytes received.
+// Stats returns the number of batches and wire bytes received.
 func (c *Collector) Stats() (batches int, rxBytes int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -250,14 +415,42 @@ func (c *Collector) DurationQuantiles() (p50, p90, p99 float64) {
 	return qs[0], qs[1], qs[2]
 }
 
-// Close stops the collector and waits for in-flight connections.
+// Close stops the collector and waits for in-flight connections. Open
+// connections are force-closed: a serve goroutine parked in ReadBatch on
+// an idle client would otherwise keep Close waiting forever.
 func (c *Collector) Close() error {
 	c.mu.Lock()
 	c.closed = true
+	open := make([]net.Conn, 0, len(c.conns))
+	for conn := range c.conns {
+		open = append(open, conn)
+	}
 	c.mu.Unlock()
 	err := c.ln.Close()
+	for _, conn := range open {
+		conn.Close()
+	}
 	c.wg.Wait()
 	return err
+}
+
+// track registers an open connection; it reports false (and the caller
+// must drop the conn) if the collector is already closed — the race
+// where Accept hands out a conn just as Close snapshots the open set.
+func (c *Collector) track(conn net.Conn) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return false
+	}
+	c.conns[conn] = struct{}{}
+	return true
+}
+
+func (c *Collector) untrack(conn net.Conn) {
+	c.mu.Lock()
+	delete(c.conns, conn)
+	c.mu.Unlock()
 }
 
 func (c *Collector) acceptLoop() {
@@ -271,6 +464,10 @@ func (c *Collector) acceptLoop() {
 		go func() {
 			defer c.wg.Done()
 			defer conn.Close()
+			if !c.track(conn) {
+				return
+			}
+			defer c.untrack(conn)
 			c.serve(conn)
 		}()
 	}
@@ -279,7 +476,7 @@ func (c *Collector) acceptLoop() {
 func (c *Collector) serve(conn net.Conn) {
 	br := bufio.NewReader(conn)
 	for {
-		b, err := ReadBatch(br)
+		b, wire, err := ReadBatch(br)
 		if err != nil {
 			if err != io.EOF {
 				// Malformed or truncated stream: drop the connection
@@ -291,11 +488,11 @@ func (c *Collector) serve(conn net.Conn) {
 		c.ds.Append(b.Events...)
 		mColBatches.Inc()
 		mColEvents.Add(int64(len(b.Events)))
-		mColRxBytes.Add(int64(approxBatchSize(b)))
+		mColRxBytes.Add(int64(wire))
 		mDatasetEvents.Set(float64(c.ds.Len()))
 		c.mu.Lock()
 		c.batches++
-		c.rxBytes += int64(approxBatchSize(b))
+		c.rxBytes += int64(wire)
 		for i := range b.Events {
 			c.quantiles.Add(b.Events[i].Duration.Seconds())
 		}
@@ -310,10 +507,6 @@ func (c *Collector) serve(conn net.Conn) {
 
 // batchAck is the single-byte acknowledgement for a stored batch.
 const batchAck = 0x06
-
-func approxBatchSize(b *Batch) int {
-	return len(b.Events) * 96 // bookkeeping estimate only
-}
 
 // Uploader buffers a device's events and uploads them to the collector
 // only when WiFi is available, exactly like Android-MOD ("the recorded
@@ -406,7 +599,11 @@ func (u *Uploader) Flush() error {
 		u.mu.Unlock()
 		return nil
 	}
-	batch := &Batch{DeviceID: u.deviceID, Events: u.pending}
+	// Copy the batch under the lock. Slicing pending directly would hand
+	// gob a view of the live backing array with the mutex released: a
+	// concurrent Record can append into that same array mid-encode.
+	sent := len(u.pending)
+	batch := &Batch{DeviceID: u.deviceID, Events: append([]failure.Event(nil), u.pending...)}
 	u.mu.Unlock()
 
 	start := time.Now()
@@ -434,8 +631,10 @@ func (u *Uploader) Flush() error {
 	u.mu.Lock()
 	u.sentBytes += int64(n)
 	u.uploads++
-	// Only clear what was sent; events recorded mid-flight stay pending.
-	u.pending = u.pending[len(batch.Events):]
+	// Only events recorded mid-flight stay pending. Re-base into a fresh
+	// slice rather than re-slicing: pending[sent:] would keep the sent
+	// prefix reachable (and growing) for the uploader's whole lifetime.
+	u.pending = append([]failure.Event(nil), u.pending[sent:]...)
 	u.mu.Unlock()
 	return nil
 }
@@ -447,29 +646,4 @@ func (u *Uploader) noteRetry() {
 	u.mu.Lock()
 	u.retries++
 	u.mu.Unlock()
-}
-
-// Filter returns a new dataset with the events matching pred.
-func (d *Dataset) Filter(pred func(*failure.Event) bool) *Dataset {
-	out := NewDataset()
-	d.Each(func(e *failure.Event) {
-		if pred(e) {
-			out.events = append(out.events, *e)
-		}
-	})
-	return out
-}
-
-// Merge combines datasets into a new one.
-func Merge(ds ...*Dataset) *Dataset {
-	out := NewDataset()
-	for _, d := range ds {
-		if d == nil {
-			continue
-		}
-		d.mu.RLock()
-		out.events = append(out.events, d.events...)
-		d.mu.RUnlock()
-	}
-	return out
 }

@@ -49,9 +49,12 @@ func TestBatchRoundTrip(t *testing.T) {
 	if n != len(buf) {
 		t.Errorf("WriteBatch reported %d bytes, wrote %d", n, len(buf))
 	}
-	out, err := ReadBatch(bytesReader(buf))
+	out, wire, err := ReadBatch(bytesReader(buf))
 	if err != nil {
 		t.Fatal(err)
+	}
+	if wire != n {
+		t.Errorf("ReadBatch wire size = %d, want %d", wire, n)
 	}
 	if out.DeviceID != 42 || len(out.Events) != 10 {
 		t.Fatalf("decoded %d events for device %d", len(out.Events), out.DeviceID)
@@ -65,7 +68,7 @@ func TestBatchRoundTrip(t *testing.T) {
 }
 
 func TestReadBatchEOF(t *testing.T) {
-	if _, err := ReadBatch(bytesReader(nil)); err != io.EOF {
+	if _, _, err := ReadBatch(bytesReader(nil)); err != io.EOF {
 		t.Errorf("empty stream error = %v, want io.EOF", err)
 	}
 }
@@ -73,13 +76,13 @@ func TestReadBatchEOF(t *testing.T) {
 func TestReadBatchCorruptHeader(t *testing.T) {
 	// Implausibly large length prefix must not allocate.
 	buf := []byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0}
-	if _, err := ReadBatch(bytesReader(buf)); err == nil {
+	if _, _, err := ReadBatch(bytesReader(buf)); err == nil {
 		t.Error("corrupt header accepted")
 	}
 	// Truncated payload.
 	var ok bytesBuffer
 	WriteBatch(&ok, &Batch{DeviceID: 1, Events: sampleEvents(2)})
-	if _, err := ReadBatch(bytesReader(ok[:len(ok)-3])); err == nil {
+	if _, _, err := ReadBatch(bytesReader(ok[:len(ok)-3])); err == nil {
 		t.Error("truncated payload accepted")
 	}
 }
