@@ -10,6 +10,7 @@ import (
 	"repro/internal/failure"
 	"repro/internal/faultinject"
 	"repro/internal/fleet"
+	"repro/internal/trace"
 )
 
 // runChaos executes `cellcheck chaos`: a calm baseline run, the same
@@ -24,6 +25,12 @@ import (
 //	I3  the failure-class mix shifts in the expected direction — for each
 //	    fault class in the campaign, the faulted run records at least as
 //	    many events of the class's failure kind as the calm baseline.
+//	I4  ingestion is exactly-once (campaigns with network rules, or
+//	    -network): with every event routed through an in-process collector
+//	    under injected dial failures, lost acks, and flaky links, the
+//	    collector dataset's event multiset equals the union of what the
+//	    devices recorded — nothing lost, nothing duplicated — and is
+//	    byte-identical across worker counts.
 func runChaos(args []string) {
 	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
 	var (
@@ -31,7 +38,8 @@ func runChaos(args []string) {
 		seed    = fs.Int64("seed", 7, "simulation seed")
 		workers = fs.Int("workers", 8, "worker shards")
 		months  = fs.Float64("months", 4, "measurement window in months")
-		faults  = fs.String("faults", "", "JSON fault-campaign file (default: the bundled BS-blackout campaign)")
+		faults  = fs.String("faults", "", "JSON fault-campaign file (default: the bundled BS-blackout campaign, or the bundled network campaign with -network)")
+		network = fs.Bool("network", false, "upload events through an in-process collector under transport faults and check the exactly-once invariant I4")
 	)
 	_ = fs.Parse(args)
 
@@ -49,9 +57,12 @@ func runChaos(args []string) {
 		if err != nil {
 			log.Fatalf("cellcheck chaos: %v", err)
 		}
+	} else if *network {
+		campaign = faultinject.DefaultNetworkCampaign(scenario.Window)
 	} else {
 		campaign = faultinject.DefaultBlackoutCampaign(scenario.Window)
 	}
+	uploadMode := *network || campaign.HasNetworkRules()
 
 	fmt.Printf("chaos: campaign %q over %d devices, %.1f months, seed %d\n",
 		campaign.Name, scenario.NumDevices, scenario.Window.Hours()/24/30, scenario.Seed)
@@ -60,16 +71,50 @@ func runChaos(args []string) {
 	if err != nil {
 		log.Fatalf("cellcheck chaos: baseline run: %v", err)
 	}
-	faulted := scenario
-	faulted.Faults = campaign
-	res, err := fleet.Run(faulted)
-	if err != nil {
-		log.Fatalf("cellcheck chaos: faulted run: %v", err)
+
+	// runFaulted executes the campaign, in upload mode routing every event
+	// through a fresh in-process collector so transport faults have a real
+	// TCP path to break; the result's Dataset is then the collector's copy
+	// — exactly what a production deployment would have persisted.
+	runFaulted := func(workers int) *fleet.Result {
+		faulted := scenario
+		faulted.Workers = workers
+		faulted.Faults = campaign
+		if !uploadMode {
+			res, err := fleet.Run(faulted)
+			if err != nil {
+				log.Fatalf("cellcheck chaos: faulted run: %v", err)
+			}
+			return res
+		}
+		ds := trace.NewDataset()
+		col, err := trace.NewCollector("127.0.0.1:0", ds)
+		if err != nil {
+			log.Fatalf("cellcheck chaos: collector: %v", err)
+		}
+		faulted.UploadAddr = col.Addr()
+		res, err := fleet.Run(faulted)
+		col.Drain(5 * time.Second)
+		if err != nil {
+			log.Fatalf("cellcheck chaos: faulted run (workers=%d): %v", workers, err)
+		}
+		fmt.Printf("collector (workers=%d): %d events, %d dedup hits, %d nacks, digest %s\n",
+			workers, ds.Len(), col.DedupHits(), col.Nacks(), ds.MultisetDigest())
+		res.Dataset = ds
+		return res
 	}
 
+	res := runFaulted(*workers)
 	fmt.Printf("%s\n", res.Faults)
 
 	checks := chaosInvariants(campaign, baseline, res)
+	if uploadMode {
+		res1 := res
+		if *workers != 1 {
+			res1 = runFaulted(1)
+		}
+		checks = append(checks, ingestInvariants(res, res1)...)
+	}
 	failures := 0
 	for _, c := range checks {
 		status := "PASS"
@@ -148,4 +193,44 @@ func kindCounts(res *fleet.Result) map[failure.Kind]int {
 	out := make(map[failure.Kind]int)
 	res.Dataset.Each(func(e *failure.Event) { out[e.Kind]++ })
 	return out
+}
+
+// ingestInvariants is invariant I4, checked on the upload-mode faulted
+// runs: the collector's dataset must be the exact multiset the devices
+// recorded, the transport faults must actually have fired (otherwise the
+// invariant was vacuous), and the stored multiset must not depend on the
+// worker count.
+func ingestInvariants(res, res1 *fleet.Result) []chaosCheck {
+	var checks []chaosCheck
+	var netInjected int64
+	for _, rr := range res.Faults.Rules {
+		if class, err := faultinject.ParseClass(rr.Class); err == nil && class.IsNetwork() {
+			netInjected += rr.Injected
+		}
+	}
+	up, rec := res.Dataset.MultisetDigest(), res.RecordedDigest
+	checks = append(checks,
+		chaosCheck{
+			id:   "I4/exactly-once",
+			text: "collector multiset equals the device-recorded multiset",
+			pass: res.RecordedEvents > 0 && int64(res.Dataset.Len()) == res.RecordedEvents && up == rec,
+			detail: fmt.Sprintf("stored=%d recorded=%d digest=%s recorded-digest=%s",
+				res.Dataset.Len(), res.RecordedEvents, up, rec),
+		},
+		chaosCheck{
+			id:     "I4/stressed",
+			text:   "transport faults actually fired during upload",
+			pass:   netInjected > 0,
+			detail: fmt.Sprintf("network-fault episodes injected=%d", netInjected),
+		},
+		chaosCheck{
+			id:   "I4/worker-independence",
+			text: "stored multiset is byte-identical across worker counts",
+			pass: res1.Dataset.MultisetDigest() == up && res1.Dataset.Len() == res.Dataset.Len(),
+			detail: fmt.Sprintf("workers=%d: %d events %s; workers=1: %d events %s",
+				res.Scenario.Workers, res.Dataset.Len(), up,
+				res1.Dataset.Len(), res1.Dataset.MultisetDigest()),
+		},
+	)
+	return checks
 }

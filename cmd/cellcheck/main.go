@@ -9,6 +9,7 @@
 //	cellcheck -devices 4000 -seed 7
 //	cellcheck -in run.snap.gz
 //	cellcheck chaos                          # bundled BS-blackout campaign
+//	cellcheck chaos -network                 # + transport faults, exactly-once invariant I4
 //	cellcheck chaos -faults campaign.json -devices 3000
 package main
 

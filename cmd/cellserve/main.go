@@ -42,7 +42,7 @@ var page = template.Must(template.New("index").Parse(`<!doctype html>
 {{range .ISPs}}<tr><td>{{.Name}}</td><td>{{printf "%.1f%%" .Prev}}</td><td>{{printf "%.1f" .Freq}}</td></tr>{{end}}</table>
 <p>JSON API: <a href="/api/stats">/api/stats</a> · <a href="/api/by-model">/api/by-model</a> ·
 <a href="/api/by-isp">/api/by-isp</a> · <a href="/api/events?limit=20">/api/events</a> ·
-<a href="/metrics">/metrics</a></p>
+<a href="/api/digest">/api/digest</a> · <a href="/metrics">/metrics</a></p>
 `))
 
 func main() {

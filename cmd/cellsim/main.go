@@ -40,6 +40,8 @@ func main() {
 		patched  = flag.Bool("patched", false, "enable the §4.2 enhancements (stability-compatible RAT policy, dual connectivity, TIMP trigger)")
 		faults   = flag.String("faults", "", "JSON fault-campaign file to superimpose on the run (see internal/faultinject)")
 		upload   = flag.String("upload", "", "collector address to upload events to over TCP")
+		buffer   = flag.Int("buffer", 0, "with -upload: max buffered events per shard before spilling or shedding (0: unbounded)")
+		spill    = flag.String("spill", "", "with -upload: directory for per-shard spill WALs once -buffer is exceeded (empty: shed oldest)")
 		out      = flag.String("o", "run.snap.gz", "output snapshot path (empty to skip)")
 		progress = flag.Duration("progress", 0, "print periodic progress (devices done, events/sec) to stderr; 0 disables")
 	)
@@ -54,12 +56,14 @@ func main() {
 		}
 	} else {
 		scenario = fleet.Scenario{
-			Seed:       *seed,
-			NumDevices: *devices,
-			Window:     time.Duration(*months * 30 * 24 * float64(time.Hour)),
-			NumBS:      *numBS,
-			Workers:    *workers,
-			UploadAddr: *upload,
+			Seed:              *seed,
+			NumDevices:        *devices,
+			Window:            time.Duration(*months * 30 * 24 * float64(time.Hour)),
+			NumBS:             *numBS,
+			Workers:           *workers,
+			UploadAddr:        *upload,
+			UploadBufferLimit: *buffer,
+			UploadSpillDir:    *spill,
 		}
 		if *patched {
 			scenario = scenario.Patched(android.PaperTIMPTrigger)

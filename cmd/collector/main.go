@@ -8,14 +8,23 @@
 // ?format=json for the JSON dump); -pprof additionally mounts the
 // net/http/pprof handlers under /debug/pprof/.
 //
+// The collector speaks both wire dialects: legacy length-prefixed
+// batches (one-byte ack) and the v2 versioned frames whose acks carry
+// the batch sequence number, with per-device dedup making retried
+// uploads idempotent. -max-conns bounds concurrent uploads (excess
+// connections are shed with a nack carrying a retry-after hint) and
+// -read-timeout reclaims connections from silent devices.
+//
 // On SIGINT/SIGTERM the collector shuts down cleanly: the persist
-// ticker stops, the TCP listener closes and in-flight connections
-// drain, and only then does the final persist run — so no batch
-// accepted before the signal can race past the last flush.
+// ticker stops, the TCP listener closes, and in-flight uploads get
+// -drain-grace to finish at a batch boundary (every batch acked before
+// the deadline is in the final persist); only then does the final
+// persist run — so no acknowledged batch can race past the last flush.
 //
 // Usage:
 //
 //	collector -listen 127.0.0.1:9230 -o dataset.gob.gz
+//	collector -max-conns 512 -read-timeout 90s -drain-grace 10s
 //	collector -http 127.0.0.1:9231 -pprof
 //	curl localhost:9231/metrics
 package main
@@ -44,16 +53,22 @@ import (
 func main() {
 	log.SetFlags(0)
 	var (
-		listen    = flag.String("listen", "127.0.0.1:9230", "listen address")
-		out       = flag.String("o", "dataset.gob.gz", "dataset output path")
-		interval  = flag.Duration("flush", 30*time.Second, "persist interval")
-		httpAddr  = flag.String("http", "127.0.0.1:9231", "metrics HTTP listen address (empty to disable)")
-		withPprof = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/ on the metrics listener")
+		listen      = flag.String("listen", "127.0.0.1:9230", "listen address")
+		out         = flag.String("o", "dataset.gob.gz", "dataset output path")
+		interval    = flag.Duration("flush", 30*time.Second, "persist interval")
+		maxConns    = flag.Int("max-conns", 0, "max concurrently served upload connections; excess is shed with a retry-after nack (0: default 256)")
+		readTimeout = flag.Duration("read-timeout", 0, "per-read idle deadline on upload connections (0: default 2m)")
+		drainGrace  = flag.Duration("drain-grace", 10*time.Second, "how long in-flight uploads may finish after SIGINT/SIGTERM")
+		httpAddr    = flag.String("http", "127.0.0.1:9231", "metrics HTTP listen address (empty to disable)")
+		withPprof   = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/ on the metrics listener")
 	)
 	flag.Parse()
 
 	ds := trace.NewDataset()
-	col, err := trace.NewCollector(*listen, ds)
+	col, err := trace.NewCollectorWith(*listen, ds, trace.CollectorOptions{
+		MaxConns:    *maxConns,
+		ReadTimeout: *readTimeout,
+	})
 	if err != nil {
 		log.Fatalf("collector: %v", err)
 	}
@@ -86,7 +101,8 @@ func main() {
 			return
 		}
 		batches, rx := col.Stats()
-		fmt.Printf("persisted %d events (%d batches, ~%d bytes received)\n", ds.Len(), batches, rx)
+		fmt.Printf("persisted %d events (%d batches, ~%d bytes received, %d dedup hits, %d nacks)\n",
+			ds.Len(), batches, rx, col.DedupHits(), col.Nacks())
 	}
 
 	for {
@@ -94,13 +110,14 @@ func main() {
 		case <-tick.C:
 			persist()
 		case <-stop:
-			// Shutdown order matters: stop the ticker, stop accepting
-			// and drain in-flight uploads (Close waits for them), and
-			// persist last — the final snapshot then provably contains
-			// every acknowledged batch.
+			// Shutdown order matters: stop the ticker, stop accepting,
+			// give in-flight uploads the grace window to conclude at a
+			// batch boundary (Drain waits for them), and persist last —
+			// the final snapshot then provably contains every
+			// acknowledged batch.
 			tick.Stop()
-			if err := col.Close(); err != nil {
-				log.Printf("collector: close: %v", err)
+			if err := col.Drain(*drainGrace); err != nil {
+				log.Printf("collector: drain: %v", err)
 			}
 			persist()
 			if httpSrv != nil {

@@ -48,6 +48,7 @@ type RuleConfig struct {
 	// Class-specific intensity knobs; exactly one family applies.
 	Levels            int     `json:"levels,omitempty"`              // rss-degrade
 	EpisodesPerDevice float64 `json:"episodes_per_device,omitempty"` // storms
+	Probability       float64 `json:"probability,omitempty"`         // network faults, per upload attempt
 
 	PeriodHours float64 `json:"period_hours,omitempty"` // bs-flap
 	DutyDown    float64 `json:"duty_down,omitempty"`    // bs-flap
@@ -145,6 +146,8 @@ func (rc *RuleConfig) rule() (Rule, error) {
 		r.Intensity = float64(rc.Levels)
 	case ClassSetupStorm, ClassStallStorm:
 		r.Intensity = rc.EpisodesPerDevice
+	case ClassCollectorOutage, ClassAckLoss, ClassLinkFlaky:
+		r.Intensity = rc.Probability
 	}
 	for _, name := range rc.Causes {
 		cause, err := parseCause(name)

@@ -60,8 +60,21 @@ const (
 	// ClassStallStorm injects extra Data_Stall episodes for matching
 	// devices (device/OS-side anomalies; the TIMP recovery path's load).
 	ClassStallStorm
+	// ClassCollectorOutage fails upload attempts before a connection is
+	// made (the backend is unreachable), forcing device-side buffering,
+	// backoff, and spill — the paper's WiFi-gated store-and-forward path
+	// under a dead backend.
+	ClassCollectorOutage
+	// ClassAckLoss delivers the batch and severs the connection before
+	// the acknowledgement — the duplicate-risk fault the seq/dedup
+	// machinery exists for.
+	ClassAckLoss
+	// ClassLinkFlaky makes the upload link lossy and slow: attempts are
+	// cut mid-frame or delayed, exercising truncated-batch handling and
+	// retry pacing.
+	ClassLinkFlaky
 
-	NumClasses = 6
+	NumClasses = 9
 )
 
 func (c Class) String() string {
@@ -78,9 +91,27 @@ func (c Class) String() string {
 		return "rat-downgrade"
 	case ClassStallStorm:
 		return "stall-storm"
+	case ClassCollectorOutage:
+		return "collector-outage"
+	case ClassAckLoss:
+		return "ack-loss"
+	case ClassLinkFlaky:
+		return "link-flaky"
 	default:
 		return "unknown"
 	}
+}
+
+// IsNetwork reports whether the class faults the device→collector upload
+// path rather than the radio environment. Network rules fire per upload
+// attempt with probability Intensity and apply for the whole run (upload
+// attempts happen outside virtual time, so windows do not apply).
+func (c Class) IsNetwork() bool {
+	switch c {
+	case ClassCollectorOutage, ClassAckLoss, ClassLinkFlaky:
+		return true
+	}
+	return false
 }
 
 // ParseClass maps a class name to its Class.
@@ -179,6 +210,17 @@ func (r *Rule) Validate() error {
 	if r.Class >= NumClasses {
 		return fmt.Errorf("faultinject: rule %q: invalid class %d", r.Name, r.Class)
 	}
+	if r.Class.IsNetwork() {
+		// Network faults fire per upload attempt, outside virtual time:
+		// a window would be silently inert, so reject it outright.
+		if r.Start != 0 || r.Window != 0 {
+			return fmt.Errorf("faultinject: rule %q: network faults apply run-wide; remove start/window", r.Name)
+		}
+		if r.Intensity <= 0 || r.Intensity > 1 {
+			return fmt.Errorf("faultinject: rule %q: network fault probability must be in (0, 1]", r.Name)
+		}
+		return nil
+	}
 	if r.Start < 0 || r.Window <= 0 {
 		return fmt.Errorf("faultinject: rule %q: window must be positive and start non-negative", r.Name)
 	}
@@ -242,6 +284,20 @@ func (c *Campaign) Validate() error {
 		seen[r.Name] = true
 	}
 	return nil
+}
+
+// HasNetworkRules reports whether any rule faults the upload path; such
+// campaigns need the fleet runner to wire the injector into uploaders.
+func (c *Campaign) HasNetworkRules() bool {
+	if c == nil {
+		return false
+	}
+	for i := range c.Rules {
+		if c.Rules[i].Class.IsNetwork() {
+			return true
+		}
+	}
+	return false
 }
 
 // ExpectedKind returns the failure kind whose absolute count a rule class
@@ -309,4 +365,33 @@ func DefaultBlackoutCampaign(window time.Duration) *Campaign {
 			},
 		},
 	}
+}
+
+// DefaultNetworkCampaign is the bundled campaign `cellcheck chaos -network`
+// runs: the blackout campaign's radio-side stressors plus a hostile
+// device→collector path — backend outages, acks lost in flight, and a
+// lossy, slow link — so the at-least-once upload pipeline's I4 invariant
+// (no loss, no duplication in the Dataset) is exercised alongside the
+// detection and recovery machinery.
+func DefaultNetworkCampaign(window time.Duration) *Campaign {
+	c := DefaultBlackoutCampaign(window)
+	c.Name = "bundled-network-chaos"
+	c.Rules = append(c.Rules,
+		Rule{
+			Name:      "collector-outage",
+			Class:     ClassCollectorOutage,
+			Intensity: 0.3,
+		},
+		Rule{
+			Name:      "ack-loss",
+			Class:     ClassAckLoss,
+			Intensity: 0.35,
+		},
+		Rule{
+			Name:      "flaky-link",
+			Class:     ClassLinkFlaky,
+			Intensity: 0.3,
+		},
+	)
+	return c
 }

@@ -3,6 +3,7 @@ package faultinject
 import (
 	"fmt"
 	"math"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -90,10 +91,13 @@ func (ar *ActiveRule) downAt(bs *simnet.BaseStation, at time.Duration) bool {
 }
 
 // Injector is a compiled campaign bound to one deployment. It is shared
-// read-only across worker shards and implements simnet.Overlay.
+// across worker shards and implements simnet.Overlay; the overlay queries
+// are read-only, and the network-fault state (netfault.go) is the one
+// mutable part, guarded by its own mutex.
 type Injector struct {
 	campaign *Campaign
 	rules    []*ActiveRule
+	seed     int64
 
 	// Per-class rule indices so the hot overlay queries skip unrelated
 	// rules.
@@ -101,6 +105,10 @@ type Injector struct {
 	shiftRules []*ActiveRule // rss-degrade
 	ratRules   []*ActiveRule // rat-downgrade
 	stormRules []*ActiveRule // setup-storm + stall-storm
+	netRules   []*ActiveRule // collector-outage + ack-loss + link-flaky
+
+	netMu   sync.Mutex
+	netDevs map[uint64]*netDevice
 }
 
 // Compile binds a campaign to a deployment. Station selection for
@@ -114,10 +122,12 @@ func Compile(c *Campaign, stations []*simnet.BaseStation, seed int64) (*Injector
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
-	inj := &Injector{campaign: c}
+	inj := &Injector{campaign: c, seed: seed, netDevs: make(map[uint64]*netDevice)}
 	for i := range c.Rules {
 		ar := &ActiveRule{Rule: c.Rules[i]}
 		switch ar.Class {
+		case ClassCollectorOutage, ClassAckLoss, ClassLinkFlaky:
+			inj.netRules = append(inj.netRules, ar)
 		case ClassBSBlackout, ClassBSFlap:
 			r := rng.SplitIndexed(seed, "faultinject/"+ar.Name, i)
 			ar.down = make(map[*simnet.BaseStation]struct{})

@@ -1,0 +1,99 @@
+package faultinject
+
+import (
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// The injector doubles as the upload-path chaos source: it implements
+// trace.UploadChaos, so the fleet runner can hand the same compiled
+// campaign to every uploader and get deterministic transport faults.
+var _ trace.UploadChaos = (*Injector)(nil)
+
+// netDevice is one device's upload-fault state: a dedicated RNG stream
+// per network rule (split off the scenario seed, the rule name, and the
+// device id, so the draw sequence depends only on that device's attempt
+// order — never on worker count or scheduling), plus the count of
+// injected-but-unrecovered episodes per rule.
+type netDevice struct {
+	streams     []*rng.Source
+	outstanding []int64
+}
+
+// HasNetworkFaults reports whether the compiled campaign contains any
+// upload-path rules; callers skip the uploader wiring entirely otherwise.
+func (inj *Injector) HasNetworkFaults() bool {
+	return inj != nil && len(inj.netRules) > 0
+}
+
+// UploadFault implements trace.UploadChaos: consulted once per batch send
+// attempt. Every network rule draws on every attempt — firing or not —
+// so each rule's stream position is a pure function of the device's
+// attempt count and the first rule that fires (campaign order) wins.
+func (inj *Injector) UploadFault(device, seq uint64) trace.UploadFaultClass {
+	if !inj.HasNetworkFaults() {
+		return trace.FaultNone
+	}
+	inj.netMu.Lock()
+	defer inj.netMu.Unlock()
+	nd := inj.netDevs[device]
+	if nd == nil {
+		nd = &netDevice{
+			streams:     make([]*rng.Source, len(inj.netRules)),
+			outstanding: make([]int64, len(inj.netRules)),
+		}
+		for i, ar := range inj.netRules {
+			nd.streams[i] = rng.SplitIndexed(inj.seed, "netfault/"+ar.Name, int(device))
+		}
+		inj.netDevs[device] = nd
+	}
+	selected := -1
+	for i, ar := range inj.netRules {
+		if nd.streams[i].Bool(ar.Intensity) && selected < 0 {
+			selected = i
+		}
+	}
+	if selected < 0 {
+		return trace.FaultNone
+	}
+	ar := inj.netRules[selected]
+	ar.NoteInjected()
+	nd.outstanding[selected]++
+	switch ar.Class {
+	case ClassCollectorOutage:
+		return trace.FaultDial
+	case ClassAckLoss:
+		return trace.FaultAckLoss
+	case ClassLinkFlaky:
+		// A flaky link is lossy or slow in equal measure; the coin comes
+		// from the rule's own stream, so it only advances when the rule
+		// fires — still a pure function of the device's attempt history.
+		if nd.streams[selected].Bool(0.5) {
+			return trace.FaultTruncate
+		}
+		return trace.FaultSlow
+	}
+	return trace.FaultNone
+}
+
+// UploadOutcome implements trace.UploadChaos. An acknowledged batch
+// proves the device's upload path works again, so every outstanding
+// episode on that device concludes — the network analogue of a device
+// returning to a legal steady state after a radio fault.
+func (inj *Injector) UploadOutcome(device uint64, acked bool) {
+	if !inj.HasNetworkFaults() || !acked {
+		return
+	}
+	inj.netMu.Lock()
+	defer inj.netMu.Unlock()
+	nd := inj.netDevs[device]
+	if nd == nil {
+		return
+	}
+	for i, n := range nd.outstanding {
+		for ; n > 0; n-- {
+			inj.netRules[i].NoteRecovered()
+		}
+		nd.outstanding[i] = 0
+	}
+}

@@ -26,7 +26,11 @@ type ScenarioConfig struct {
 	DualConn   bool    `json:"dual_connectivity,omitempty"`
 	DisableFP  bool    `json:"disable_fp_filter,omitempty"`
 	UploadAddr string  `json:"upload_addr,omitempty"`
-	Outages    []struct {
+	// UploadBuffer/UploadSpillDir tune the uploader's bounded backlog; see
+	// the matching Scenario fields.
+	UploadBuffer   int    `json:"upload_buffer,omitempty"`
+	UploadSpillDir string `json:"upload_spill_dir,omitempty"`
+	Outages        []struct {
 		Region            string  `json:"region"`
 		StartDays         float64 `json:"start_days"`
 		WindowDays        float64 `json:"window_days"`
@@ -61,13 +65,15 @@ func ParseScenario(r io.Reader) (Scenario, error) {
 // Scenario converts the config into a runnable scenario.
 func (cfg ScenarioConfig) Scenario() (Scenario, error) {
 	s := Scenario{
-		Seed:             cfg.Seed,
-		NumDevices:       cfg.Devices,
-		NumBS:            cfg.BS,
-		Workers:          cfg.Workers,
-		DualConnectivity: cfg.DualConn,
-		DisableFPFilter:  cfg.DisableFP,
-		UploadAddr:       cfg.UploadAddr,
+		Seed:              cfg.Seed,
+		NumDevices:        cfg.Devices,
+		NumBS:             cfg.BS,
+		Workers:           cfg.Workers,
+		DualConnectivity:  cfg.DualConn,
+		DisableFPFilter:   cfg.DisableFP,
+		UploadAddr:        cfg.UploadAddr,
+		UploadBufferLimit: cfg.UploadBuffer,
+		UploadSpillDir:    cfg.UploadSpillDir,
 	}
 	if cfg.Months > 0 {
 		s.Window = time.Duration(cfg.Months * 30 * 24 * float64(time.Hour))

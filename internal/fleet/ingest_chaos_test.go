@@ -1,0 +1,110 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/trace"
+)
+
+// ingestChaosCampaign stresses the upload path only: no radio-layer rules,
+// so the simulated event stream is identical to a calm run and any dataset
+// discrepancy is the transport's fault.
+func ingestChaosCampaign() *faultinject.Campaign {
+	return &faultinject.Campaign{
+		Name: "ingest-chaos",
+		Rules: []faultinject.Rule{
+			// ack-loss first: it is the only class that stores the batch
+			// and then loses the ack, so it must actually fire for the
+			// dedup side of the invariant to be exercised.
+			{Name: "lost-acks", Class: faultinject.ClassAckLoss, Intensity: 0.6},
+			{Name: "outage", Class: faultinject.ClassCollectorOutage, Intensity: 0.35},
+			{Name: "flaky", Class: faultinject.ClassLinkFlaky, Intensity: 0.35},
+		},
+	}
+}
+
+// TestNetworkChaosExactlyOnceAcrossWorkers is invariant I4 end to end:
+// under injected dial failures, lost acks, and a flaky link, the collector
+// dataset's event multiset must equal the union of what the devices
+// recorded — nothing lost, nothing duplicated — and must be identical for
+// any worker count.
+func TestNetworkChaosExactlyOnceAcrossWorkers(t *testing.T) {
+	type outcome struct {
+		uploaded trace.Digest
+		events   int
+	}
+	var outcomes []outcome
+	for _, workers := range []int{1, 4} {
+		ds := trace.NewDataset()
+		col, err := trace.NewCollector("127.0.0.1:0", ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := Scenario{Seed: 77, NumDevices: 150, Workers: workers}
+		s.UploadAddr = col.Addr()
+		s.Faults = ingestChaosCampaign()
+		res, err := Run(s)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		col.Drain(2 * time.Second)
+
+		if res.RecordedEvents == 0 {
+			t.Fatalf("workers=%d: no events recorded", workers)
+		}
+		if res.Faults == nil || res.Faults.TotalInjected() == 0 {
+			t.Fatalf("workers=%d: campaign injected no transport faults — the invariant was not stressed", workers)
+		}
+		if n := res.Faults.Unresolved(); n != 0 {
+			t.Errorf("workers=%d: %d unresolved transport fault episodes\n%s", workers, n, res.Faults)
+		}
+		up := ds.MultisetDigest()
+		if up != res.RecordedDigest {
+			t.Errorf("workers=%d: collector multiset %s != device-recorded multiset %s",
+				workers, up, res.RecordedDigest)
+		}
+		if int64(ds.Len()) != res.RecordedEvents {
+			t.Errorf("workers=%d: collector holds %d events, devices recorded %d",
+				workers, ds.Len(), res.RecordedEvents)
+		}
+		if col.DedupHits() == 0 {
+			t.Errorf("workers=%d: no dedup hits — retries never replayed a stored batch, so the campaign was too gentle", workers)
+		}
+		outcomes = append(outcomes, outcome{uploaded: up, events: ds.Len()})
+	}
+	if outcomes[0].uploaded != outcomes[1].uploaded {
+		t.Errorf("dataset multiset differs across worker counts: %s vs %s",
+			outcomes[0].uploaded, outcomes[1].uploaded)
+	}
+	if outcomes[0].events != outcomes[1].events {
+		t.Errorf("dataset size differs across worker counts: %d vs %d",
+			outcomes[0].events, outcomes[1].events)
+	}
+}
+
+// TestUploadSpillKeepsAllEvents forces every shard's backlog through the
+// on-disk WAL (tiny in-memory limit, WiFi off for the whole run) and
+// asserts the collector still receives the exact recorded multiset.
+func TestUploadSpillKeepsAllEvents(t *testing.T) {
+	ds := trace.NewDataset()
+	col, err := trace.NewCollector("127.0.0.1:0", ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+	s := Scenario{Seed: 9, NumDevices: 120, Workers: 3}
+	s.UploadAddr = col.Addr()
+	s.UploadBufferLimit = 50
+	s.UploadSpillDir = t.TempDir()
+	res := runFleet(t, s)
+	col.Drain(2 * time.Second)
+
+	if ds.MultisetDigest() != res.RecordedDigest {
+		t.Errorf("collector multiset %s != recorded %s", ds.MultisetDigest(), res.RecordedDigest)
+	}
+	if int64(ds.Len()) != res.RecordedEvents {
+		t.Errorf("collector holds %d events, devices recorded %d", ds.Len(), res.RecordedEvents)
+	}
+}

@@ -105,6 +105,8 @@ func Run(s Scenario) (*Result, error) {
 			res.Overhead.MaxNetworkBytes = o.overhead.MaxNetworkBytes
 		}
 		res.Overhead.TotalNetworkBytes += o.overhead.TotalNetworkBytes
+		res.RecordedDigest.Add(o.recordedDigest)
+		res.RecordedEvents += o.recordedEvents
 	}
 	if res.Overhead.Devices > 0 {
 		res.Overhead.MeanCPUUtilization = cpuSum / float64(res.Overhead.Devices)
@@ -119,7 +121,12 @@ type shardOut struct {
 	mon       monitorAgg
 	overhead  OverheadSummary
 	integrity IntegrityReport
-	err       error
+	// recordedDigest/recordedEvents summarize the events this shard's
+	// devices recorded, accumulated before the uploader (and any injected
+	// network fault) touches them — the ground truth side of invariant I4.
+	recordedDigest trace.Digest
+	recordedEvents int64
+	err            error
 }
 
 type monitorAgg struct {
@@ -153,10 +160,33 @@ func runShard(s *Scenario, network *simnet.Network, dataset *trace.Dataset, mode
 	var uploader *trace.Uploader
 	if s.UploadAddr != "" {
 		uploader = trace.NewUploader(s.UploadAddr, uint64(lo))
+		// Short, seeded backoff: the collector is local, so retries are
+		// cheap; the jitter stream is split per shard so retry timing never
+		// couples shards (and cannot perturb the simulation, which runs on
+		// its own virtual clock).
+		uploader.SetBackoff(2*time.Millisecond, 50*time.Millisecond,
+			rng.SplitIndexed(s.Seed, "uploader-backoff", lo))
+		if s.UploadBufferLimit > 0 {
+			uploader.BufferLimit = s.UploadBufferLimit
+		}
+		if s.UploadSpillDir != "" {
+			if err := uploader.EnableSpill(s.UploadSpillDir); err != nil {
+				out.err = fmt.Errorf("fleet: enable upload spill: %w", err)
+				return out
+			}
+		}
+		if inj.HasNetworkFaults() {
+			uploader.SetChaos(inj)
+		}
+		defer uploader.Close()
 	}
 	state.sink = func(e failure.Event) {
 		mEvents.Inc()
 		if uploader != nil {
+			// Digest before upload: this is what the device observed, the
+			// reference the collector's dataset must reproduce exactly.
+			out.recordedDigest.Add(trace.EventDigest(&e))
+			out.recordedEvents++
 			uploader.Record(e)
 			return
 		}
@@ -233,14 +263,25 @@ func runShard(s *Scenario, network *simnet.Network, dataset *trace.Dataset, mode
 
 	if uploader != nil {
 		uploader.SetWiFi(true)
-		// The end-of-shard flush is the one upload that must not be
-		// lost; retry transient collector failures a few times before
-		// surfacing the error, counting retries for the dashboard.
+		// The end-of-shard flush is the one upload that must not be lost;
+		// retry transient collector failures before surfacing the error,
+		// counting retries for the dashboard. Under an injected network
+		// fault campaign every attempt can fail with high probability, so
+		// the budget rises accordingly — at-least-once is only as good as
+		// the sender's persistence, and the collector dedups the rest.
+		attempts := shardFlushAttempts
+		if inj.HasNetworkFaults() {
+			attempts = shardFlushAttemptsChaos
+		}
 		var err error
-		for attempt := 0; attempt < shardFlushAttempts; attempt++ {
+		for attempt := 0; attempt < attempts; attempt++ {
 			if attempt > 0 {
 				mUploadRetries.Inc()
-				time.Sleep(time.Duration(attempt) * 100 * time.Millisecond)
+				if d := uploader.RetryDelay(); d > 0 {
+					time.Sleep(d)
+				} else {
+					time.Sleep(time.Duration(attempt) * 100 * time.Millisecond)
+				}
 			}
 			if err = uploader.Flush(); err == nil {
 				break
@@ -258,8 +299,13 @@ func runShard(s *Scenario, network *simnet.Network, dataset *trace.Dataset, mode
 	return out
 }
 
-// shardFlushAttempts bounds the end-of-shard upload retry loop.
-const shardFlushAttempts = 3
+// shardFlushAttempts bounds the end-of-shard upload retry loop;
+// shardFlushAttemptsChaos is the budget under an injected network-fault
+// campaign, where individual attempts are expected to fail.
+const (
+	shardFlushAttempts      = 3
+	shardFlushAttemptsChaos = 200
+)
 
 // estimateClassMasses Monte-Carlo-estimates, per device class, the expected
 // hazard mass of RAT transitions accumulated over one device's dwell chain

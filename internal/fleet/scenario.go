@@ -69,6 +69,14 @@ type Scenario struct {
 	// trace.Collector at this address over TCP instead of appending to
 	// the in-memory dataset directly.
 	UploadAddr string
+	// UploadBufferLimit caps each shard uploader's in-memory backlog
+	// (events); past it the backlog spills to UploadSpillDir, or sheds
+	// oldest-first if no spill dir is set. 0 means unbounded.
+	UploadBufferLimit int
+	// UploadSpillDir, when set with UploadAddr, gives each shard uploader
+	// an on-disk WAL for backlog past UploadBufferLimit, so a long
+	// collector outage degrades to disk instead of dropping events.
+	UploadSpillDir string
 	// MaxEventsPerDevice caps runaway heavy-tail devices (default 200k,
 	// matching the paper's observed 198,228 maximum).
 	MaxEventsPerDevice int
@@ -280,6 +288,13 @@ type Result struct {
 	Integrity IntegrityReport
 	// Faults is the campaign execution report (nil for calm runs).
 	Faults *faultinject.Report
+	// RecordedDigest and RecordedEvents summarize, for uploading runs,
+	// the multiset of events the device fleet recorded before the
+	// network could lose or duplicate anything. Comparing them against
+	// the collector dataset's MultisetDigest/Len is the chaos invariant
+	// I4: ingestion is exactly-once end to end.
+	RecordedDigest trace.Digest
+	RecordedEvents int64
 }
 
 // String summarizes the run.

@@ -1,0 +1,338 @@
+package trace
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// CollectorOptions tunes the backend's robustness envelope. The zero
+// value selects production-ish defaults; tests shrink them to provoke
+// shedding and drain paths quickly.
+type CollectorOptions struct {
+	// MaxConns caps concurrently served connections. A connection
+	// arriving past the cap is shed: it gets a nack reply carrying
+	// RetryAfter and is closed without reading a byte, so overload never
+	// grows the goroutine count unboundedly. <= 0 uses 256.
+	MaxConns int
+	// ReadTimeout is the per-read idle deadline on a served connection.
+	// A device that goes silent mid-connection (suspended phone, dead
+	// radio) releases its server resources after this long instead of
+	// parking a goroutine forever. <= 0 uses 2 minutes.
+	ReadTimeout time.Duration
+	// RetryAfter is the backoff floor suggested in shed nacks.
+	// <= 0 uses 500ms.
+	RetryAfter time.Duration
+}
+
+func (o CollectorOptions) withDefaults() CollectorOptions {
+	if o.MaxConns <= 0 {
+		o.MaxConns = 256
+	}
+	if o.ReadTimeout <= 0 {
+		o.ReadTimeout = 2 * time.Minute
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = 500 * time.Millisecond
+	}
+	return o
+}
+
+// Collector is the backend TCP server that receives uploaded batches.
+// Alongside storing events it tracks streaming duration percentiles with
+// P² sketches, so operational dashboards get p50/p90/p99 without the
+// backend retaining samples.
+//
+// Ingestion is at-least-once and duplicate-free: v2 batches carry
+// (DeviceID, Seq) and the collector remembers, per device, the highest
+// acknowledged sequence number. A batch re-sent after a lost ack is
+// acknowledged again without re-appending, so retries never skew the
+// dataset (see the wire-protocol comment in wire.go).
+type Collector struct {
+	ln  net.Listener
+	ds  *Dataset
+	opt CollectorOptions
+
+	mu         sync.Mutex
+	conns      map[net.Conn]struct{}
+	batches    int
+	rxBytes    int64
+	dedupHits  int64
+	nacks      int64
+	lastSeq    map[uint64]uint64 // per-device acked high-water mark
+	closed     bool
+	draining   bool
+	drainUntil time.Time
+	quantiles  *stats.QuantileSet
+	wg         sync.WaitGroup
+}
+
+// NewCollector starts a collector on addr (e.g. "127.0.0.1:0") feeding ds
+// with default options.
+func NewCollector(addr string, ds *Dataset) (*Collector, error) {
+	return NewCollectorWith(addr, ds, CollectorOptions{})
+}
+
+// NewCollectorWith starts a collector with explicit options.
+func NewCollectorWith(addr string, ds *Dataset, opt CollectorOptions) (*Collector, error) {
+	if ds == nil {
+		return nil, errors.New("trace: nil dataset")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	qs, err := stats.NewQuantileSet(0.5, 0.9, 0.99)
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	c := &Collector{
+		ln:        ln,
+		ds:        ds,
+		opt:       opt.withDefaults(),
+		conns:     make(map[net.Conn]struct{}),
+		lastSeq:   make(map[uint64]uint64),
+		quantiles: qs,
+	}
+	c.wg.Add(1)
+	go c.acceptLoop()
+	return c, nil
+}
+
+// Addr returns the collector's listen address.
+func (c *Collector) Addr() string { return c.ln.Addr().String() }
+
+// Stats returns the number of batches and wire bytes received.
+func (c *Collector) Stats() (batches int, rxBytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.batches, c.rxBytes
+}
+
+// DedupHits returns how many re-sent batches were acknowledged without
+// being re-appended.
+func (c *Collector) DedupHits() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dedupHits
+}
+
+// Nacks returns how many connections were shed with a nack reply.
+func (c *Collector) Nacks() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nacks
+}
+
+// DurationQuantiles returns the streaming p50/p90/p99 of received failure
+// durations, in seconds.
+func (c *Collector) DurationQuantiles() (p50, p90, p99 float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	qs := c.quantiles.Quantiles()
+	return qs[0], qs[1], qs[2]
+}
+
+// Close stops the collector and waits for in-flight connections. Open
+// connections are force-closed: a serve goroutine parked in ReadBatch on
+// an idle client would otherwise keep Close waiting forever. Use Drain
+// for the graceful variant that acks in-flight batches first.
+func (c *Collector) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	open := make([]net.Conn, 0, len(c.conns))
+	for conn := range c.conns {
+		open = append(open, conn)
+	}
+	c.mu.Unlock()
+	err := c.ln.Close()
+	for _, conn := range open {
+		conn.Close()
+	}
+	c.wg.Wait()
+	return err
+}
+
+// Drain shuts the collector down gracefully: the listener closes so no
+// new connection is admitted, and every open connection gets up to grace
+// to finish (and be acked for) the batch it is currently sending before
+// its serve loop exits at the next frame boundary. Only after all serve
+// goroutines return does Drain come back — so every acknowledged batch is
+// in the dataset, and nothing acked was cut off mid-store.
+func (c *Collector) Drain(grace time.Duration) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.draining = true
+	c.drainUntil = time.Now().Add(grace)
+	open := make([]net.Conn, 0, len(c.conns))
+	for conn := range c.conns {
+		open = append(open, conn)
+	}
+	until := c.drainUntil
+	c.mu.Unlock()
+	err := c.ln.Close()
+	// Re-arm deadlines on connections already parked in a read, so idle
+	// ones wake at the drain deadline instead of their idle timeout.
+	for _, conn := range open {
+		conn.SetReadDeadline(until)
+	}
+	c.wg.Wait()
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	return err
+}
+
+// admitConn registers a new connection, enforcing the connection cap.
+// Over the cap the connection is shed: one nack reply, then close. It
+// reports whether the caller should serve the connection.
+func (c *Collector) admitConn(conn net.Conn) bool {
+	c.mu.Lock()
+	if c.closed || c.draining {
+		c.mu.Unlock()
+		conn.Close()
+		return false
+	}
+	if len(c.conns) >= c.opt.MaxConns {
+		c.nacks++
+		retry := c.opt.RetryAfter
+		c.mu.Unlock()
+		mColNacks.Inc()
+		conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+		writeReply(conn, batchNack, 0, retry)
+		conn.Close()
+		return false
+	}
+	c.conns[conn] = struct{}{}
+	mColOpenConns.Set(float64(len(c.conns)))
+	c.mu.Unlock()
+	return true
+}
+
+func (c *Collector) untrack(conn net.Conn) {
+	c.mu.Lock()
+	delete(c.conns, conn)
+	mColOpenConns.Set(float64(len(c.conns)))
+	c.mu.Unlock()
+}
+
+func (c *Collector) acceptLoop() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		if !c.admitConn(conn) {
+			continue
+		}
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			defer conn.Close()
+			defer c.untrack(conn)
+			c.serve(conn)
+		}()
+	}
+}
+
+// armDeadline sets the next read deadline: the idle timeout in steady
+// state, the drain deadline once Drain has been called.
+func (c *Collector) armDeadline(conn net.Conn) {
+	c.mu.Lock()
+	draining, until := c.draining, c.drainUntil
+	c.mu.Unlock()
+	if draining {
+		conn.SetReadDeadline(until)
+		return
+	}
+	conn.SetReadDeadline(time.Now().Add(c.opt.ReadTimeout))
+}
+
+func (c *Collector) serve(conn net.Conn) {
+	br := bufio.NewReader(conn)
+	for {
+		c.armDeadline(conn)
+		first, err := br.Peek(1)
+		if err != nil {
+			// Clean EOF, idle timeout, or drain deadline at a frame
+			// boundary: nothing in flight, nothing lost. Anything else
+			// (e.g. a force-close with unread bytes) counts as a drop.
+			var ne net.Error
+			if err != io.EOF && !(errors.As(err, &ne) && ne.Timeout()) {
+				mColDropped.Inc()
+			}
+			return
+		}
+		versioned := first[0] == versionV2
+		if versioned {
+			br.ReadByte()
+		}
+		b, wire, err := ReadBatch(br)
+		if err != nil {
+			// Malformed or truncated stream: drop the connection. The
+			// batch was never stored, so the device's retry is safe.
+			mColDropped.Inc()
+			return
+		}
+		if versioned {
+			wire++ // account the version byte
+		}
+		fresh := c.admit(b, wire, versioned)
+		if fresh {
+			c.ds.Append(b.Events...)
+			mColBatches.Inc()
+			mColEvents.Add(int64(len(b.Events)))
+			mDatasetEvents.Set(float64(c.ds.Len()))
+		}
+		mColRxBytes.Add(int64(wire))
+		// Acknowledge once the batch is durably in the dataset (or known
+		// to be a duplicate of one that already is), so the device can
+		// trim its buffer knowing nothing was lost in flight.
+		if versioned {
+			if err := writeReply(conn, batchAck, b.Seq, 0); err != nil {
+				return
+			}
+		} else {
+			if _, err := conn.Write([]byte{batchAck}); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// admit records a received batch and decides whether it is fresh. For
+// versioned batches the per-device high-water mark dedups retries; the
+// mark advances *before* the append so a concurrent retry of the same
+// batch on another connection can never double-append.
+func (c *Collector) admit(b *Batch, wire int, versioned bool) (fresh bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rxBytes += int64(wire)
+	if versioned && b.Seq > 0 {
+		if last, ok := c.lastSeq[b.DeviceID]; ok && b.Seq <= last {
+			c.dedupHits++
+			mColDedupHits.Inc()
+			return false
+		}
+		c.lastSeq[b.DeviceID] = b.Seq
+	}
+	c.batches++
+	for i := range b.Events {
+		c.quantiles.Add(b.Events[i].Duration.Seconds())
+	}
+	return true
+}

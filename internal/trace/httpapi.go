@@ -16,6 +16,7 @@ import (
 //	GET /api/events?limit=N&kind=K  — raw events (filtered, truncated)
 //	GET /api/by-model               — per-model event counts and devices
 //	GET /api/by-isp                 — per-ISP event counts and devices
+//	GET /api/digest                 — order-independent multiset digest
 type QueryAPI struct {
 	ds *Dataset
 }
@@ -29,6 +30,7 @@ func (a *QueryAPI) Routes(mux *http.ServeMux) {
 	mux.HandleFunc("/api/events", a.handleEvents)
 	mux.HandleFunc("/api/by-model", a.handleByModel)
 	mux.HandleFunc("/api/by-isp", a.handleByISP)
+	mux.HandleFunc("/api/digest", a.handleDigest)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -113,6 +115,18 @@ func (a *QueryAPI) handleByModel(w http.ResponseWriter, r *http.Request) {
 		out = append(out, row{ModelID: id, Events: events[id], Devices: len(devices[id])})
 	}
 	writeJSON(w, out)
+}
+
+// handleDigest exposes the dataset's order-independent multiset digest,
+// so an operator can compare a collector's stored dataset against the
+// fleet's recorded digest (or another replica) with two curls instead of
+// shipping snapshots around.
+func (a *QueryAPI) handleDigest(w http.ResponseWriter, r *http.Request) {
+	type digest struct {
+		Events int    `json:"events"`
+		Digest string `json:"digest"`
+	}
+	writeJSON(w, digest{Events: a.ds.Len(), Digest: a.ds.MultisetDigest().String()})
 }
 
 func (a *QueryAPI) handleByISP(w http.ResponseWriter, r *http.Request) {

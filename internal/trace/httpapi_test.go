@@ -83,6 +83,27 @@ func TestAPIEventsLimitAndFilter(t *testing.T) {
 	}
 }
 
+func TestAPIDigest(t *testing.T) {
+	srv, done := apiServer(t, 25)
+	defer done()
+	var out struct {
+		Events int    `json:"events"`
+		Digest string `json:"digest"`
+	}
+	resp := getJSON(t, srv.URL+"/api/digest", &out)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if out.Events != 25 {
+		t.Errorf("events = %d, want 25", out.Events)
+	}
+	ds := NewDataset()
+	ds.Append(sampleEvents(25)...)
+	if want := ds.MultisetDigest().String(); out.Digest != want {
+		t.Errorf("digest = %s, want %s", out.Digest, want)
+	}
+}
+
 func TestAPIByModelAndISP(t *testing.T) {
 	srv, done := apiServer(t, 60)
 	defer done()

@@ -27,4 +27,20 @@ var (
 		"Events in the serving process's primary dataset (set by collectors and cellserve).")
 	mUploadSeconds = metrics.NewHistogram("trace_upload_seconds",
 		"Wall-clock seconds per successful batch upload (dial through ack).")
+	mUpBackoffTotal = metrics.NewCounter("trace_uploader_backoff_total",
+		"Failed flushes that armed the exponential-backoff timer.")
+	mUpBackoffSeconds = metrics.NewHistogram("trace_uploader_backoff_seconds",
+		"Backoff delay armed after each failed flush, in seconds.")
+	mUpBackoffSuppressed = metrics.NewCounter("trace_uploader_backoff_suppressed_total",
+		"Best-effort flushes skipped because the backoff timer had not expired.")
+	mUpSpilled = metrics.NewCounter("trace_uploader_spilled_events_total",
+		"Events moved from the in-memory buffer to the on-disk spill WAL.")
+	mUpDropped = metrics.NewCounter("trace_uploader_dropped_events_total",
+		"Events dropped oldest-first because the buffer cap was hit with no spill WAL.")
+	mColDedupHits = metrics.NewCounter("trace_collector_dedup_hits_total",
+		"Re-sent batches acknowledged without re-appending (per-device seq dedup).")
+	mColNacks = metrics.NewCounter("trace_collector_nacks_total",
+		"Connections shed with a nack reply because the connection cap was reached.")
+	mColOpenConns = metrics.NewGauge("trace_collector_open_connections",
+		"Connections currently served by collectors in this process.")
 )

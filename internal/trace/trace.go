@@ -11,22 +11,22 @@ import (
 	"compress/gzip"
 	"encoding/binary"
 	"encoding/gob"
-	"errors"
 	"fmt"
 	"io"
-	"net"
 	"os"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"repro/internal/failure"
-	"repro/internal/stats"
 )
 
-// Batch is one upload unit: a device's buffered failure events.
+// Batch is one upload unit: a device's buffered failure events. Seq is
+// the device-local sequence number assigned when the batch is sealed for
+// upload (v2 wire protocol, see wire.go); it is zero for batches that
+// predate sequencing, e.g. StreamWriter chunks on disk.
 type Batch struct {
 	DeviceID uint64
+	Seq      uint64
 	Events   []failure.Event
 }
 
@@ -357,293 +357,4 @@ func Merge(ds ...*Dataset) *Dataset {
 		}
 	}
 	return out
-}
-
-// Collector is the backend TCP server that receives uploaded batches.
-// Alongside storing events it tracks streaming duration percentiles with
-// P² sketches, so operational dashboards get p50/p90/p99 without the
-// backend retaining samples.
-type Collector struct {
-	ln net.Listener
-	ds *Dataset
-
-	mu        sync.Mutex
-	conns     map[net.Conn]struct{}
-	batches   int
-	rxBytes   int64
-	closed    bool
-	quantiles *stats.QuantileSet
-	wg        sync.WaitGroup
-}
-
-// NewCollector starts a collector on addr (e.g. "127.0.0.1:0") feeding ds.
-func NewCollector(addr string, ds *Dataset) (*Collector, error) {
-	if ds == nil {
-		return nil, errors.New("trace: nil dataset")
-	}
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	qs, err := stats.NewQuantileSet(0.5, 0.9, 0.99)
-	if err != nil {
-		ln.Close()
-		return nil, err
-	}
-	c := &Collector{ln: ln, ds: ds, conns: make(map[net.Conn]struct{}), quantiles: qs}
-	c.wg.Add(1)
-	go c.acceptLoop()
-	return c, nil
-}
-
-// Addr returns the collector's listen address.
-func (c *Collector) Addr() string { return c.ln.Addr().String() }
-
-// Stats returns the number of batches and wire bytes received.
-func (c *Collector) Stats() (batches int, rxBytes int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.batches, c.rxBytes
-}
-
-// DurationQuantiles returns the streaming p50/p90/p99 of received failure
-// durations, in seconds.
-func (c *Collector) DurationQuantiles() (p50, p90, p99 float64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	qs := c.quantiles.Quantiles()
-	return qs[0], qs[1], qs[2]
-}
-
-// Close stops the collector and waits for in-flight connections. Open
-// connections are force-closed: a serve goroutine parked in ReadBatch on
-// an idle client would otherwise keep Close waiting forever.
-func (c *Collector) Close() error {
-	c.mu.Lock()
-	c.closed = true
-	open := make([]net.Conn, 0, len(c.conns))
-	for conn := range c.conns {
-		open = append(open, conn)
-	}
-	c.mu.Unlock()
-	err := c.ln.Close()
-	for _, conn := range open {
-		conn.Close()
-	}
-	c.wg.Wait()
-	return err
-}
-
-// track registers an open connection; it reports false (and the caller
-// must drop the conn) if the collector is already closed — the race
-// where Accept hands out a conn just as Close snapshots the open set.
-func (c *Collector) track(conn net.Conn) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
-		return false
-	}
-	c.conns[conn] = struct{}{}
-	return true
-}
-
-func (c *Collector) untrack(conn net.Conn) {
-	c.mu.Lock()
-	delete(c.conns, conn)
-	c.mu.Unlock()
-}
-
-func (c *Collector) acceptLoop() {
-	defer c.wg.Done()
-	for {
-		conn, err := c.ln.Accept()
-		if err != nil {
-			return // listener closed
-		}
-		c.wg.Add(1)
-		go func() {
-			defer c.wg.Done()
-			defer conn.Close()
-			if !c.track(conn) {
-				return
-			}
-			defer c.untrack(conn)
-			c.serve(conn)
-		}()
-	}
-}
-
-func (c *Collector) serve(conn net.Conn) {
-	br := bufio.NewReader(conn)
-	for {
-		b, wire, err := ReadBatch(br)
-		if err != nil {
-			if err != io.EOF {
-				// Malformed or truncated stream: drop the connection
-				// (clean EOF at a batch boundary is not a drop).
-				mColDropped.Inc()
-			}
-			return
-		}
-		c.ds.Append(b.Events...)
-		mColBatches.Inc()
-		mColEvents.Add(int64(len(b.Events)))
-		mColRxBytes.Add(int64(wire))
-		mDatasetEvents.Set(float64(c.ds.Len()))
-		c.mu.Lock()
-		c.batches++
-		c.rxBytes += int64(wire)
-		for i := range b.Events {
-			c.quantiles.Add(b.Events[i].Duration.Seconds())
-		}
-		c.mu.Unlock()
-		// Acknowledge once the batch is durably in the dataset, so the
-		// device can trim its buffer knowing nothing was lost in flight.
-		if _, err := conn.Write([]byte{batchAck}); err != nil {
-			return
-		}
-	}
-}
-
-// batchAck is the single-byte acknowledgement for a stored batch.
-const batchAck = 0x06
-
-// Uploader buffers a device's events and uploads them to the collector
-// only when WiFi is available, exactly like Android-MOD ("the recorded
-// data are uploaded to our backend server only when there is WiFi
-// connectivity").
-type Uploader struct {
-	addr string
-
-	// FlushThreshold is how many events accumulate before an on-WiFi
-	// Record triggers an upload (default 1: immediate). Batching
-	// amortizes the TCP round trip; SetWiFi(true) and Flush always drain
-	// everything regardless.
-	FlushThreshold int
-
-	// sendMu serializes Flush so concurrent flushes cannot double-send.
-	sendMu    sync.Mutex
-	mu        sync.Mutex
-	deviceID  uint64
-	pending   []failure.Event
-	wifi      bool
-	sentBytes int64
-	uploads   int
-	retries   int
-}
-
-// NewUploader creates an uploader for a device targeting the collector at
-// addr.
-func NewUploader(addr string, deviceID uint64) *Uploader {
-	return &Uploader{addr: addr, deviceID: deviceID}
-}
-
-// Record buffers an event for upload.
-func (u *Uploader) Record(e failure.Event) {
-	u.mu.Lock()
-	u.pending = append(u.pending, e)
-	threshold := u.FlushThreshold
-	if threshold < 1 {
-		threshold = 1
-	}
-	flush := u.wifi && len(u.pending) >= threshold
-	u.mu.Unlock()
-	if flush {
-		u.Flush() // best effort; events stay buffered on failure
-	}
-}
-
-// Pending returns the number of buffered events.
-func (u *Uploader) Pending() int {
-	u.mu.Lock()
-	defer u.mu.Unlock()
-	return len(u.pending)
-}
-
-// SentBytes returns total wire bytes uploaded (network budget accounting).
-func (u *Uploader) SentBytes() int64 {
-	u.mu.Lock()
-	defer u.mu.Unlock()
-	return u.sentBytes
-}
-
-// FlushRetries returns how many Flush attempts failed on the network
-// (events stayed buffered and were retried later).
-func (u *Uploader) FlushRetries() int {
-	u.mu.Lock()
-	defer u.mu.Unlock()
-	return u.retries
-}
-
-// SetWiFi updates connectivity; gaining WiFi flushes the buffer.
-func (u *Uploader) SetWiFi(on bool) {
-	u.mu.Lock()
-	u.wifi = on
-	n := len(u.pending)
-	u.mu.Unlock()
-	if on && n > 0 {
-		u.Flush()
-	}
-}
-
-// Flush uploads all buffered events if WiFi is available.
-func (u *Uploader) Flush() error {
-	u.sendMu.Lock()
-	defer u.sendMu.Unlock()
-	u.mu.Lock()
-	if !u.wifi {
-		u.mu.Unlock()
-		return errors.New("trace: no WiFi connectivity")
-	}
-	if len(u.pending) == 0 {
-		u.mu.Unlock()
-		return nil
-	}
-	// Copy the batch under the lock. Slicing pending directly would hand
-	// gob a view of the live backing array with the mutex released: a
-	// concurrent Record can append into that same array mid-encode.
-	sent := len(u.pending)
-	batch := &Batch{DeviceID: u.deviceID, Events: append([]failure.Event(nil), u.pending...)}
-	u.mu.Unlock()
-
-	start := time.Now()
-	conn, err := net.Dial("tcp", u.addr)
-	if err != nil {
-		u.noteRetry()
-		return fmt.Errorf("trace: dial collector: %w", err)
-	}
-	defer conn.Close()
-	conn.SetDeadline(time.Now().Add(30 * time.Second))
-	n, err := WriteBatch(conn, batch)
-	if err != nil {
-		u.noteRetry()
-		return fmt.Errorf("trace: upload: %w", err)
-	}
-	var ack [1]byte
-	if _, err := io.ReadFull(conn, ack[:]); err != nil || ack[0] != batchAck {
-		u.noteRetry()
-		return fmt.Errorf("trace: collector did not acknowledge batch: %w", err)
-	}
-	mUpBatches.Inc()
-	mUpEvents.Add(int64(len(batch.Events)))
-	mUpBytes.Add(int64(n))
-	mUploadSeconds.Observe(time.Since(start).Seconds())
-	u.mu.Lock()
-	u.sentBytes += int64(n)
-	u.uploads++
-	// Only events recorded mid-flight stay pending. Re-base into a fresh
-	// slice rather than re-slicing: pending[sent:] would keep the sent
-	// prefix reachable (and growing) for the uploader's whole lifetime.
-	u.pending = append([]failure.Event(nil), u.pending[sent:]...)
-	u.mu.Unlock()
-	return nil
-}
-
-// noteRetry accounts a failed network flush: the events stay buffered,
-// so a later Flush will retry them.
-func (u *Uploader) noteRetry() {
-	mUpRetries.Inc()
-	u.mu.Lock()
-	u.retries++
-	u.mu.Unlock()
 }

@@ -1,0 +1,214 @@
+package trace
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/failure"
+)
+
+// Upload wire protocol.
+//
+// The original (v1) protocol was one WriteBatch frame per upload with a
+// single-byte acknowledgement — enough for a prototype, but it cannot
+// distinguish "the collector stored the batch and the ack got lost" from
+// "the batch never arrived", so a retry after a lost ack duplicated every
+// event in the Dataset. Version 2 makes the path at-least-once *and*
+// duplicate-free:
+//
+//	frame  = versionV2 byte (0xA2) ++ WriteBatch frame, Batch.Seq > 0
+//	reply  = kind byte (ack 0x06 / nack 0x15) ++ seq uint64 BE ++
+//	         retry-after milliseconds uint32 BE
+//
+// Every batch carries (DeviceID, Seq); Seq is assigned once when the
+// batch is sealed and reused verbatim on every retry. The collector keeps
+// a per-device high-water mark of acknowledged sequence numbers: a
+// re-sent batch (Seq <= mark) is acknowledged again without re-appending.
+// A nack tells the device the collector refused the batch (overload
+// shedding) and how long to back off before retrying.
+//
+// The version byte cannot be confused with a v1 frame: v1 starts with the
+// big-endian length prefix of a payload capped at maxBatchWire (64 MiB),
+// so its first byte is always <= 0x04. Collectors therefore keep
+// accepting v1 clients (StreamWriter files and old uploaders) on the same
+// port, replying with the bare one-byte ack those clients expect.
+const (
+	// versionV2 prefixes every v2 upload frame.
+	versionV2 = 0xA2
+	// batchAck / batchNack are the reply kind bytes. batchAck doubles as
+	// the complete v1 reply.
+	batchAck  = 0x06
+	batchNack = 0x15
+	// replyLen is the fixed v2 reply size: kind + seq + retry-after ms.
+	replyLen = 1 + 8 + 4
+)
+
+// Wire-protocol errors surfaced by Uploader.Flush.
+var (
+	// ErrBadAck reports a well-formed acknowledgement for the wrong
+	// sequence number — a protocol violation, not a transient fault.
+	ErrBadAck = errors.New("trace: collector acknowledged the wrong batch")
+	// ErrAckLost reports that the connection died between delivering a
+	// batch and reading its acknowledgement. The batch may or may not be
+	// stored; the uploader must retry and rely on collector-side dedup.
+	ErrAckLost = errors.New("trace: connection lost before the batch acknowledgement")
+	// ErrNoWiFi reports a flush attempted without WiFi connectivity (the
+	// paper's uploads are WiFi-gated).
+	ErrNoWiFi = errors.New("trace: no WiFi connectivity")
+)
+
+// NackError is returned by Flush when the collector explicitly refused a
+// batch (overload shedding). RetryAfter is the collector's suggested
+// backoff floor.
+type NackError struct {
+	RetryAfter time.Duration
+}
+
+func (e *NackError) Error() string {
+	return fmt.Sprintf("trace: collector refused batch, retry after %v", e.RetryAfter)
+}
+
+// writeReply emits one v2 reply frame.
+func writeReply(w io.Writer, kind byte, seq uint64, retryAfter time.Duration) error {
+	var buf [replyLen]byte
+	buf[0] = kind
+	binary.BigEndian.PutUint64(buf[1:9], seq)
+	ms := retryAfter.Milliseconds()
+	if ms < 0 {
+		ms = 0
+	}
+	if ms > int64(^uint32(0)) {
+		ms = int64(^uint32(0))
+	}
+	binary.BigEndian.PutUint32(buf[9:], uint32(ms))
+	_, err := w.Write(buf[:])
+	return err
+}
+
+// readReply reads one v2 reply frame.
+func readReply(r io.Reader) (kind byte, seq uint64, retryAfter time.Duration, err error) {
+	var buf [replyLen]byte
+	if _, err = io.ReadFull(r, buf[:]); err != nil {
+		return 0, 0, 0, err
+	}
+	kind = buf[0]
+	if kind != batchAck && kind != batchNack {
+		return 0, 0, 0, fmt.Errorf("trace: malformed reply kind 0x%02x", kind)
+	}
+	seq = binary.BigEndian.Uint64(buf[1:9])
+	retryAfter = time.Duration(binary.BigEndian.Uint32(buf[9:])) * time.Millisecond
+	return kind, seq, retryAfter, nil
+}
+
+// UploadFaultClass is a transport fault the chaos harness can inject into
+// one upload attempt. The classes mirror what a real device fleet sees:
+// unreachable backends, connections severed before or after delivery, and
+// slow links.
+type UploadFaultClass uint8
+
+// Upload fault classes.
+const (
+	// FaultNone leaves the attempt alone.
+	FaultNone UploadFaultClass = iota
+	// FaultDial simulates a collector outage: the attempt fails before a
+	// connection is made.
+	FaultDial
+	// FaultAckLoss delivers the batch, then severs the connection before
+	// the acknowledgement is read — the duplicate-risk case.
+	FaultAckLoss
+	// FaultTruncate severs the connection mid-frame, so the collector
+	// sees a truncated batch and stores nothing.
+	FaultTruncate
+	// FaultSlow delays the send (a slow link); the attempt still
+	// completes.
+	FaultSlow
+)
+
+func (c UploadFaultClass) String() string {
+	switch c {
+	case FaultNone:
+		return "none"
+	case FaultDial:
+		return "dial"
+	case FaultAckLoss:
+		return "ack-loss"
+	case FaultTruncate:
+		return "truncate"
+	case FaultSlow:
+		return "slow"
+	default:
+		return "unknown"
+	}
+}
+
+// UploadChaos lets a fault injector intercept upload attempts. The
+// uploader consults UploadFault exactly once per batch send attempt and
+// reports every acknowledged batch through UploadOutcome, so the injector
+// can account injected-vs-recovered faults deterministically.
+type UploadChaos interface {
+	// UploadFault returns the fault to apply to the device's next send
+	// of the batch with the given sequence number.
+	UploadFault(device, seq uint64) UploadFaultClass
+	// UploadOutcome reports a completed attempt; acked is true when the
+	// collector acknowledged the batch.
+	UploadOutcome(device uint64, acked bool)
+}
+
+// chaosSlowDelay is the send delay a FaultSlow attempt sleeps.
+const chaosSlowDelay = 15 * time.Millisecond
+
+// Digest is an order-independent multiset digest over failure events:
+// per-event SHA-256 hashes combined by wrapping word-wise addition.
+// Because addition commutes, two event streams have equal digests iff
+// they contain the same events with the same multiplicities, regardless
+// of the order shards or collector connections appended them — exactly
+// the property the chaos invariant "no loss, no duplication" needs to be
+// checkable byte-for-byte across worker counts.
+type Digest [4]uint64
+
+// Add folds another digest in (commutative, associative).
+func (d *Digest) Add(o Digest) {
+	for i := range d {
+		d[i] += o[i]
+	}
+}
+
+// IsZero reports whether the digest is the empty-multiset digest.
+func (d Digest) IsZero() bool { return d == Digest{} }
+
+// String renders the digest as 64 hex characters.
+func (d Digest) String() string {
+	return fmt.Sprintf("%016x%016x%016x%016x", d[0], d[1], d[2], d[3])
+}
+
+// EventDigest hashes one event with its full in-situ context.
+func EventDigest(e *failure.Event) Digest {
+	h := sha256.New()
+	ev := *e
+	if t := ev.Transition; t != nil {
+		ev.Transition = nil
+		fmt.Fprintf(h, "%+v|%+v", ev, *t)
+	} else {
+		fmt.Fprintf(h, "%+v|", ev)
+	}
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	var d Digest
+	for i := range d {
+		d[i] = binary.BigEndian.Uint64(sum[8*i:])
+	}
+	return d
+}
+
+// MultisetDigest returns the order-independent digest of every stored
+// event. Appending the same events in any order or sharding yields the
+// same digest.
+func (d *Dataset) MultisetDigest() Digest {
+	var out Digest
+	d.Each(func(e *failure.Event) { out.Add(EventDigest(e)) })
+	return out
+}
