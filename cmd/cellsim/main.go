@@ -80,7 +80,10 @@ func main() {
 	var stopProgress chan struct{}
 	if *progress > 0 {
 		stopProgress = make(chan struct{})
-		go reportProgress(*progress, scenario.NumDevices, stopProgress)
+		// Report against the normalized scenario: a -config file may omit
+		// NumDevices (Run fills in the default), and the raw config value
+		// would show a 0 total forever.
+		go reportProgress(*progress, scenario.Normalized().NumDevices, stopProgress)
 	}
 
 	start := time.Now()
@@ -125,9 +128,10 @@ func main() {
 }
 
 // reportProgress prints a progress line to stderr every interval until
-// done closes, reading the live fleet/monitor counters: devices whose
-// shard has completed, failure events recorded so far, and the recent
-// recording rate.
+// done closes, reading the live fleet/monitor counters: devices finished
+// so far (each worker lane bumps the counter per device, so the count
+// moves throughout the run instead of jumping at shard completion),
+// failure events recorded so far, and the recent recording rate.
 func reportProgress(interval time.Duration, totalDevices int, done <-chan struct{}) {
 	reg := metrics.Default()
 	tick := time.NewTicker(interval)

@@ -16,14 +16,22 @@ import (
 	"repro/internal/telephony"
 )
 
-// plannedEpisode is one scheduled failure opportunity.
+// plannedEpisode is one scheduled failure opportunity. It is a fused value
+// record: the transition context and pinned attachment are embedded by
+// value (with has-flags) rather than pointed to, so a device's whole plan
+// lives in one contiguous slice and planning allocates nothing per episode.
 type plannedEpisode struct {
-	at         simclock.Time
-	kind       failure.Kind
-	transition *failure.TransitionInfo
+	at   simclock.Time
+	kind failure.Kind
+	// transition is the RAT-transition context for transition-induced
+	// episodes; valid iff hasTransition.
+	transition    failure.TransitionInfo
+	hasTransition bool
 	// att pins the attachment context for transition-induced episodes
-	// (the post-transition camp); nil for base episodes.
-	att *simnet.Attachment
+	// (the post-transition camp); valid iff hasAtt (base episodes sample
+	// a hazard-tilted attachment instead).
+	att    simnet.Attachment
+	hasAtt bool
 	// fp marks a false-positive episode: a suspicious event the monitor
 	// must filter rather than record.
 	fp bool
@@ -36,6 +44,54 @@ type plannedEpisode struct {
 	// dur pre-samples a fault episode's duration (stall auto-fix or OOS
 	// span), capped so the episode concludes inside the run's slack.
 	dur time.Duration
+}
+
+// transitionPtr returns the episode's transition context as the heap
+// pointer the monitor retains into recorded events (nil for none). Each
+// call copies: events must not alias plan scratch that a worker lane
+// reuses for the next device.
+func (ep *plannedEpisode) transitionPtr() *failure.TransitionInfo {
+	if !ep.hasTransition {
+		return nil
+	}
+	ti := ep.transition
+	return &ti
+}
+
+// laneScratch is the reusable per-worker allocation arena. A worker lane
+// simulates one device at a time, so every buffer a device needs during
+// planning and episode execution can be recycled for the next device; the
+// legacy shared-queue path gives each concurrently-live actor its own.
+type laneScratch struct {
+	fr           *rng.Source
+	planned      []plannedEpisode
+	transitions  []chainTransition
+	chainAtts    []simnet.Attachment
+	chainWeights []float64
+	candAtts     []simnet.Attachment
+	candOpts     []android.RATOption
+	weights      []float64
+	cum          []float64
+	kindCum      []float64
+	outcomes     []android.SetupOutcome
+}
+
+func newLaneScratch() *laneScratch {
+	return &laneScratch{
+		// Candidate slots: at most four RAT draws plus the sticky previous
+		// camp, so capacity 8 means the chain walk never reallocates.
+		candAtts: make([]simnet.Attachment, 0, 8),
+		candOpts: make([]android.RATOption, 0, 8),
+	}
+}
+
+// chainTransition is one hazardous RAT transition observed on the dwell
+// chain, a candidate site for transition-induced failures.
+type chainTransition struct {
+	slot int
+	att  simnet.Attachment
+	info failure.TransitionInfo
+	mass float64
 }
 
 // actor is one simulated Android-MOD device.
@@ -60,8 +116,9 @@ type actor struct {
 	intensity device.Intensity
 	policy    android.RATPolicy
 	dual      android.DualConnectivity
-	kindPick  *rng.Categorical
-	kinds     []failure.Kind
+	// kindCum is the device's failure-kind cumulative distribution, built
+	// into lane scratch (see buildKindPick).
+	kindCum []float64
 
 	host     *netprobe.SimHost
 	mon      *monitor.Service
@@ -100,9 +157,14 @@ type actor struct {
 	// chainAtts/chainWeights hold the dwell chain's attachments and their
 	// dwell×hazard weights; failure episodes draw their radio context from
 	// this distribution so failure rates per context stay consistent with
-	// dwell accounting.
+	// dwell accounting. Backed by lane scratch.
 	chainAtts    []simnet.Attachment
 	chainWeights []float64
+
+	// planned is the device's episode plan; episodes are dispatched by
+	// index through runPlannedFn, one method value shared by all of them.
+	planned      []plannedEpisode
+	runPlannedFn func(int32)
 
 	// per-device exposure dedup bitmaps.
 	seenRAT    [numRATIdx]bool
@@ -110,6 +172,7 @@ type actor struct {
 	seenRATLvl [numRATIdx][telephony.NumSignalLevels]bool
 
 	shard *shardState
+	scr   *laneScratch
 }
 
 // shardState is aggregation local to one worker shard.
@@ -147,11 +210,11 @@ func (r *simRadio) Setup(done func(android.SetupOutcome)) {
 		out = r.outcomes[r.next]
 		r.next++
 	}
-	r.clock.After(r.latency, func() { done(out) })
+	r.clock.PostAfter(r.latency, func() { done(out) })
 }
 
 func (r *simRadio) Teardown(done func()) {
-	r.clock.After(r.latency/2, func() { done() })
+	r.clock.PostAfter(r.latency/2, func() { done() })
 }
 
 func (r *simRadio) script(outcomes []android.SetupOutcome) {
@@ -166,7 +229,7 @@ type opExec struct{ a *actor }
 func (e opExec) Execute(op android.RecoveryOp, done func(bool)) {
 	a := e.a
 	overhead := a.cal.OpOverhead[int(op)-1]
-	a.clock.After(overhead, func() {
+	a.clock.PostAfter(overhead, func() {
 		p := a.cal.OpSuccess[int(op)-1]
 		// Device-side recovery cannot repair broken infrastructure: on
 		// long-neglected remote BSes the operations mostly fail, which is
@@ -190,7 +253,10 @@ func (e opExec) Execute(op android.RecoveryOp, done func(bool)) {
 
 // newActor builds a device and plans its episodes. The dwell chain runs
 // immediately (it is pure accounting); episodes are scheduled on the clock.
-func newActor(id uint64, m device.Model, clock *simclock.Scheduler, r *rng.Source, scen *Scenario, net *simnet.Network, shard *shardState, inj *faultinject.Injector) *actor {
+// scr is the caller's allocation arena: a worker lane passes one scratch
+// reused across its whole device range, the legacy shared-queue path one
+// per actor (its actors are alive concurrently).
+func newActor(id uint64, m device.Model, clock *simclock.Scheduler, r *rng.Source, scen *Scenario, net *simnet.Network, shard *shardState, inj *faultinject.Injector, scr *laneScratch) *actor {
 	a := &actor{
 		id:    id,
 		model: m,
@@ -201,12 +267,18 @@ func newActor(id uint64, m device.Model, clock *simclock.Scheduler, r *rng.Sourc
 		net:   net,
 		shard: shard,
 		inj:   inj,
+		scr:   scr,
 	}
 	if inj != nil {
 		// The fault stream is keyed on the device index, not the shard, so
 		// campaign decisions are worker-count-independent like everything
-		// else.
-		a.fr = rng.SplitIndexed(scen.Seed, "faultinject", int(id-1))
+		// else. Reseeding scratch's generator in place yields the same
+		// stream SplitIndexed would allocate.
+		if scr.fr == nil {
+			scr.fr = rng.New(0)
+		}
+		scr.fr.Reseed(rng.IndexedSeed(scen.Seed, "faultinject", int(id-1)))
+		a.fr = scr.fr
 	}
 	a.isp = sampleISP(r)
 	// ISP quality modulates both whether a device fails at all and how
@@ -268,13 +340,19 @@ func newActor(id uint64, m device.Model, clock *simclock.Scheduler, r *rng.Sourc
 	})
 
 	a.accountPopulation()
-	planned := a.dwellChainAndPlan()
-	for _, ep := range planned {
-		ep := ep
-		clock.At(ep.at, func() { a.runEpisode(ep, 0) })
+	a.planned = a.dwellChainAndPlan()
+	scr.planned = a.planned // retain growth for the next device on this lane
+	// One bound method value dispatches the whole plan by index: scheduling
+	// N episodes costs zero allocations instead of N closures and timers.
+	a.runPlannedFn = a.runPlanned
+	for i := range a.planned {
+		clock.PostIdx(a.planned[i].at, a.runPlannedFn, int32(i))
 	}
 	return a
 }
+
+// runPlanned dispatches planned episode i; it is scheduled via PostIdx.
+func (a *actor) runPlanned(i int32) { a.runEpisode(a.planned[i], 0) }
 
 func (a *actor) pickPolicy() android.RATPolicy {
 	switch a.scen.Policy {
@@ -343,41 +421,49 @@ func (a *actor) candidateOptions(r *rng.Source, region geo.Region) ([]simnet.Att
 
 // candidateOptionsAt samples the camping choices visible at a location at
 // a virtual time, applying the fault campaign's condition overrides (RSS
-// degradation, RAT downgrades) when one is active.
+// degradation, RAT downgrades) when one is active. The returned slices are
+// backed by the actor's lane scratch and are valid until the next call.
 func (a *actor) candidateOptionsAt(r *rng.Source, region geo.Region, at time.Duration) ([]simnet.Attachment, []android.RATOption) {
 	var ov simnet.Overlay
 	if a.inj != nil {
 		ov = a.inj
 	}
-	return sampleCandidatesAt(a.net, r, a.isp, a.model.FiveG, region, at, ov)
+	return sampleCandidatesAt(a.net, r, a.isp, a.model.FiveG, region, at, ov,
+		a.scr.candAtts[:0], a.scr.candOpts[:0])
 }
 
 // sampleCandidates draws the camping choices visible to a device of the
 // given capability at a location, in the calm environment.
 func sampleCandidates(net *simnet.Network, r *rng.Source, isp simnet.ISPID, fiveG bool, region geo.Region) ([]simnet.Attachment, []android.RATOption) {
-	return sampleCandidatesAt(net, r, isp, fiveG, region, 0, nil)
+	return sampleCandidatesAt(net, r, isp, fiveG, region, 0, nil, nil, nil)
 }
+
+// candidateWants lists the RAT draws in preference-probe order; 5G-capable
+// devices additionally probe 5G.
+var (
+	candidateWants4 = [...]telephony.RAT{telephony.RAT4G, telephony.RAT2G, telephony.RAT3G}
+	candidateWants5 = [...]telephony.RAT{telephony.RAT4G, telephony.RAT2G, telephony.RAT3G, telephony.RAT5G}
+)
 
 // sampleCandidatesAt is sampleCandidates under a fault overlay: sampled
 // levels are shifted and blocked RATs fall back exactly as the network
-// would present them at virtual time at.
-func sampleCandidatesAt(net *simnet.Network, r *rng.Source, isp simnet.ISPID, fiveG bool, region geo.Region, at time.Duration, ov simnet.Overlay) ([]simnet.Attachment, []android.RATOption) {
-	wants := []telephony.RAT{telephony.RAT4G, telephony.RAT2G, telephony.RAT3G}
+// would present them at virtual time at. atts/opts are caller scratch
+// (appended to; pass nil to allocate fresh).
+func sampleCandidatesAt(net *simnet.Network, r *rng.Source, isp simnet.ISPID, fiveG bool, region geo.Region, at time.Duration, ov simnet.Overlay, atts []simnet.Attachment, opts []android.RATOption) ([]simnet.Attachment, []android.RATOption) {
+	wants := candidateWants4[:]
 	if fiveG {
-		wants = append(wants, telephony.RAT5G)
+		wants = candidateWants5[:]
 	}
-	var atts []simnet.Attachment
-	var opts []android.RATOption
-	seen := map[telephony.RAT]bool{}
+	var seen uint8 // bitmask over RAT indices (numRATIdx <= 8)
 	for _, w := range wants {
 		att, err := net.AttachAt(r, isp, region, w, at, ov)
 		if err != nil {
 			continue
 		}
-		if seen[att.RAT] {
+		if seen&(1<<uint(att.RAT)) != 0 {
 			continue
 		}
-		seen[att.RAT] = true
+		seen |= 1 << uint(att.RAT)
 		atts = append(atts, att)
 		opts = append(opts, android.RATOption{RAT: att.RAT, Level: att.Level})
 	}
@@ -425,7 +511,9 @@ func (a *actor) dwellChainAndPlan() []plannedEpisode {
 	}
 	lambda := share // non-zero iff transition failures apply to this device
 
-	var planned []plannedEpisode
+	planned := a.scr.planned[:0]
+	a.chainAtts = a.scr.chainAtts[:0]
+	a.chainWeights = a.scr.chainWeights[:0]
 
 	// Base opportunities.
 	if a.intensity.Prone {
@@ -466,13 +554,7 @@ func (a *actor) dwellChainAndPlan() []plannedEpisode {
 	}
 
 	// Walk the chain, accounting dwell and collecting RAT transitions.
-	type chainTransition struct {
-		slot int
-		att  simnet.Attachment
-		info failure.TransitionInfo
-		mass float64
-	}
-	var transitions []chainTransition
+	transitions := a.scr.transitions[:0]
 	var massSum float64
 
 	prev := simnet.Attachment{}
@@ -504,16 +586,16 @@ func (a *actor) dwellChainAndPlan() []plannedEpisode {
 		// survives (no redraws, so the base stream stays aligned).
 		if a.inj != nil && att.BS != nil {
 			if dr := a.inj.DownRuleFor(att.BS, slotStart); dr != nil {
-				downAtt := att
 				lo, hi := maxDur(slotStart, dr.Start), minDur(slotStart+slot, dr.End())
 				if hi > lo {
 					at := lo + time.Duration(a.fr.Float64()*float64(hi-lo))
 					planned = append(planned, plannedEpisode{
-						at:    at,
-						kind:  failure.OutOfService,
-						att:   &downAtt,
-						fault: dr,
-						dur:   a.cappedFaultDur(a.cal.SampleOOSDuration(a.fr), at),
+						at:     at,
+						kind:   failure.OutOfService,
+						att:    att,
+						hasAtt: true,
+						fault:  dr,
+						dur:    a.cappedFaultDur(a.cal.SampleOOSDuration(a.fr), at),
 					})
 				}
 				var aliveAtts []simnet.Attachment
@@ -592,14 +674,14 @@ func (a *actor) dwellChainAndPlan() []plannedEpisode {
 					continue
 				}
 				mean := ar.Intensity * float64(hi-lo) / float64(ar.Window)
-				attCopy := att
 				neglect := att.BS.Region.Profile().NeglectFactor
 				for n := device.Poisson(a.fr, mean); n > 0; n-- {
 					ep := plannedEpisode{
-						at:    lo + time.Duration(a.fr.Float64()*float64(hi-lo)),
-						kind:  failure.DataStall,
-						att:   &attCopy,
-						fault: ar,
+						at:     lo + time.Duration(a.fr.Float64()*float64(hi-lo)),
+						kind:   failure.DataStall,
+						att:    att,
+						hasAtt: true,
+						fault:  ar,
 					}
 					if ar.Class == faultinject.ClassSetupStorm {
 						ep.kind = failure.DataSetupError
@@ -628,12 +710,12 @@ func (a *actor) dwellChainAndPlan() []plannedEpisode {
 				// Overlap fraction scales the expected episode count.
 				lo, hi := maxDur(slotStart, oStart), minDur(slotStart+slot, oEnd)
 				mean := out.EpisodesPerDevice * float64(hi-lo) / float64(out.Window)
-				attCopy := att
 				for n := device.Poisson(a.r, mean); n > 0; n-- {
 					planned = append(planned, plannedEpisode{
-						at:   lo + time.Duration(a.r.Float64()*float64(hi-lo)),
-						kind: failure.DataStall,
-						att:  &attCopy,
+						at:     lo + time.Duration(a.r.Float64()*float64(hi-lo)),
+						kind:   failure.DataStall,
+						att:    att,
+						hasAtt: true,
 					})
 				}
 			}
@@ -662,31 +744,41 @@ func (a *actor) dwellChainAndPlan() []plannedEpisode {
 		if budget > a.scen.MaxEventsPerDevice {
 			budget = a.scen.MaxEventsPerDevice
 		}
-		weights := make([]float64, len(transitions))
-		for i, tr := range transitions {
-			weights[i] = tr.mass
+		weights := a.scr.weights[:0]
+		for _, tr := range transitions {
+			weights = append(weights, tr.mass)
 		}
-		pick := rng.NewCategorical(weights)
+		a.scr.weights = weights
+		cum := rng.BuildCum(a.scr.cum, weights)
+		a.scr.cum = cum
 		for f := 0; f < budget; f++ {
-			tr := &transitions[pick.Draw(a.r)]
+			tr := &transitions[rng.DrawCum(a.r, cum)]
 			a.shard.trans.Failures[tr.info.FromRAT][tr.info.FromLevel][tr.info.ToRAT][tr.info.ToLevel]++
 			planned = append(planned, plannedEpisode{
-				at:         time.Duration(tr.slot)*slot + time.Duration(a.r.Float64()*float64(slot)),
-				kind:       a.sampleTransitionKind(),
-				transition: &tr.info,
-				att:        &tr.att,
+				at:            time.Duration(tr.slot)*slot + time.Duration(a.r.Float64()*float64(slot)),
+				kind:          a.sampleTransitionKind(),
+				transition:    tr.info,
+				hasTransition: true,
+				att:           tr.att,
+				hasAtt:        true,
 			})
 		}
 	}
 
+	// Retain buffer growth on the lane scratch for the next device.
+	a.scr.transitions = transitions
+	a.scr.chainAtts = a.chainAtts
+	a.scr.chainWeights = a.chainWeights
 	return planned
 }
 
+// kindList is the fixed order of failure kinds buildKindPick weighs.
+var kindList = [...]failure.Kind{failure.DataSetupError, failure.DataStall, failure.OutOfService, failure.SMSSendFail, failure.VoiceFailure}
+
 func (a *actor) buildKindPick() {
 	cal := a.cal
-	kinds := []failure.Kind{failure.DataSetupError, failure.DataStall, failure.OutOfService, failure.SMSSendFail, failure.VoiceFailure}
-	ws := make([]float64, len(kinds))
-	for i, k := range kinds {
+	var ws [len(kindList)]float64
+	for i, k := range kindList {
 		ws[i] = cal.KindWeights[k]
 	}
 	// Out_of_Service is concentrated in the OOS-prone minority (only ~5%
@@ -715,12 +807,12 @@ func (a *actor) buildKindPick() {
 			}
 		}
 	}
-	a.kinds = kinds
-	a.kindPick = rng.NewCategorical(ws)
+	a.kindCum = rng.BuildCum(a.scr.kindCum, ws[:])
+	a.scr.kindCum = a.kindCum
 }
 
 func (a *actor) sampleKind() failure.Kind {
-	return a.kinds[a.kindPick.Draw(a.r)]
+	return kindList[rng.DrawCum(a.r, a.kindCum)]
 }
 
 // sampleTransitionKind draws the failure kind for a transition-induced

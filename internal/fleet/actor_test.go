@@ -29,7 +29,7 @@ func newTestActor(t *testing.T, modelID int, seed int64) (*actor, *simclock.Sche
 		t.Fatalf("model %d", modelID)
 	}
 	r := rng.SplitIndexed(seed, "device", 0)
-	a := newActor(1, m, clock, r, &s, network, shard, nil)
+	a := newActor(1, m, clock, r, &s, network, shard, nil, newLaneScratch())
 	return a, clock, &events
 }
 
@@ -95,7 +95,7 @@ func TestActorBusyCollisionRescheduling(t *testing.T) {
 	}
 	// Fire two stall episodes at the same instant: the second must retry
 	// and both must eventually record.
-	ep := plannedEpisode{kind: failure.DataStall, att: &att}
+	ep := plannedEpisode{kind: failure.DataStall, att: att, hasAtt: true}
 	clock.At(clock.Now()+time.Second, func() {
 		a.runEpisode(ep, 0)
 		a.runEpisode(ep, 0)
@@ -119,7 +119,7 @@ func TestActorSetupEpisodeRunsStateMachine(t *testing.T) {
 		t.Skip("no attachment")
 	}
 	clock.At(clock.Now()+time.Second, func() {
-		a.runEpisode(plannedEpisode{kind: failure.DataSetupError, att: &att}, 0)
+		a.runEpisode(plannedEpisode{kind: failure.DataSetupError, att: att, hasAtt: true}, 0)
 	})
 	clock.Run(10 * time.Minute)
 	if len(*events) != 1 {

@@ -30,7 +30,7 @@ func (a *actor) runEpisode(ep plannedEpisode, retries int) {
 			}
 			return
 		}
-		a.clock.After(time.Duration(30+a.r.Intn(60))*time.Second, func() {
+		a.clock.PostAfter(time.Duration(30+a.r.Intn(60))*time.Second, func() {
 			a.runEpisode(ep, retries+1)
 		})
 		return
@@ -39,8 +39,8 @@ func (a *actor) runEpisode(ep plannedEpisode, retries int) {
 	// camp; base episodes land on a hazard-tilted attachment (failures
 	// concentrate where the radio environment is hostile).
 	var att simnet.Attachment
-	if ep.att != nil {
-		att = *ep.att
+	if ep.hasAtt {
+		att = ep.att
 	} else {
 		att = a.hazardTiltedAttachment()
 	}
@@ -107,7 +107,7 @@ func (a *actor) hazardTiltedAttachment() simnet.Attachment {
 func (a *actor) runSetupEpisode(ep plannedEpisode) {
 	a.busy = true
 	a.inSetup = true
-	a.setupTransition = ep.transition
+	a.setupTransition = ep.transitionPtr()
 	a.setupStart = a.clock.Now()
 	a.setupAttempts = 0
 	a.setupCause = telephony.CauseNone
@@ -115,7 +115,9 @@ func (a *actor) runSetupEpisode(ep plannedEpisode) {
 	maxAttempts := len(android.DefaultDataConnectionConfig().RetryDelays) + 1
 	attempts := a.cal.SampleSetupAttempts(a.r, maxAttempts)
 
-	outcomes := make([]android.SetupOutcome, 0, attempts+1)
+	// The script buffer is lane scratch: the radio consumes it before the
+	// episode concludes and the device runs one episode at a time.
+	outcomes := a.scr.outcomes[:0]
 	for i := 0; i < attempts; i++ {
 		var cause telephony.FailCause
 		switch {
@@ -131,6 +133,7 @@ func (a *actor) runSetupEpisode(ep plannedEpisode) {
 		outcomes = append(outcomes, android.SetupOutcome{Success: false, Cause: cause})
 	}
 	outcomes = append(outcomes, android.SetupOutcome{Success: true})
+	a.scr.outcomes = outcomes
 	a.radio.script(outcomes)
 
 	if a.dc.State() == android.DcActive {
@@ -222,7 +225,7 @@ func (a *actor) runStallEpisode(ep plannedEpisode) {
 		}
 	}
 
-	a.stallTransition = ep.transition
+	a.stallTransition = ep.transitionPtr()
 	a.stallAutoFix = autoFix
 	a.host.SetCondition(cond)
 	a.detector.Start()
@@ -285,7 +288,7 @@ func (a *actor) endStall() {
 // records it with the in-situ context.
 func (a *actor) runOOSEpisode(ep plannedEpisode) {
 	a.busy = true
-	a.oosTransition = ep.transition
+	a.oosTransition = ep.transitionPtr()
 	if ep.fault != nil {
 		a.oosFault = ep.fault
 		ep.fault.NoteInjected()

@@ -1,0 +1,108 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"testing"
+
+	"repro/internal/failure"
+)
+
+// orderedDigest canonically serializes a run like digest, but WITHOUT
+// sorting the event lines: it hashes the dataset in iteration order. The
+// canonical cross-worker merge promises the stronger contract that the
+// dataset ORDER — not just its content — is independent of worker count
+// and of the lane-vs-shared-queue runner architecture.
+func orderedDigest(t *testing.T, res *Result) [32]byte {
+	t.Helper()
+	h := sha256.New()
+	res.Dataset.Each(func(e *failure.Event) {
+		trans := ""
+		if e.Transition != nil {
+			trans = fmt.Sprintf("%+v", *e.Transition)
+		}
+		ev := *e
+		ev.Transition = nil
+		fmt.Fprintf(h, "%+v|%s\n", ev, trans)
+	})
+	fmt.Fprintf(h, "%+v\n%+v\n%+v\n%+v\n%+v\n",
+		res.Population, res.Transitions, res.Dwell, res.Monitor, res.Integrity)
+	if res.Faults != nil {
+		fmt.Fprintf(h, "%+v\n", *res.Faults)
+	}
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// TestLaneRunnerEquivalence pins the load-bearing contract of the lane
+// runner: simulating each device on its own reused lane produces the
+// byte-identical ordered digest — events in identical order, identical
+// aggregates, identical fault reports — as the legacy shared-queue
+// architecture, for any worker count, calm and faulted.
+func TestLaneRunnerEquivalence(t *testing.T) {
+	for _, faulted := range []bool{false, true} {
+		name := "calm"
+		if faulted {
+			name = "faulted"
+		}
+		t.Run(name, func(t *testing.T) {
+			arms := []struct {
+				name    string
+				workers int
+				legacy  bool
+			}{
+				{"lane-w1", 1, false},
+				{"lane-w4", 4, false},
+				{"lane-w7", 7, false},
+				{"legacy-w1", 1, true},
+				{"legacy-w4", 4, true},
+			}
+			var want [32]byte
+			for i, arm := range arms {
+				s := Scenario{Seed: 99, NumDevices: 300, Workers: arm.workers}
+				s.legacyShardQueue = arm.legacy
+				if faulted {
+					s.Faults = testCampaign()
+				}
+				res, err := Run(s)
+				if err != nil {
+					t.Fatalf("%s: %v", arm.name, err)
+				}
+				d := orderedDigest(t, res)
+				if i == 0 {
+					want = d
+					if res.Dataset.Len() == 0 {
+						t.Fatal("no events produced")
+					}
+					continue
+				}
+				if d != want {
+					t.Errorf("%s ordered digest diverged from %s", arm.name, arms[0].name)
+				}
+			}
+		})
+	}
+}
+
+// TestDatasetOrderIsCanonical verifies the published dataset is sorted by
+// the canonical (Start, DeviceID) key — the order the cross-worker merge
+// guarantees regardless of partitioning.
+func TestDatasetOrderIsCanonical(t *testing.T) {
+	res := runFleet(t, Scenario{Seed: 7, NumDevices: 200, Workers: 3})
+	var prev failure.Event
+	first := true
+	res.Dataset.Each(func(e *failure.Event) {
+		if !first {
+			if e.Start < prev.Start || (e.Start == prev.Start && e.DeviceID < prev.DeviceID) {
+				t.Fatalf("dataset out of canonical order: (%v, dev %d) after (%v, dev %d)",
+					e.Start, e.DeviceID, prev.Start, prev.DeviceID)
+			}
+		}
+		prev = *e
+		first = false
+	})
+	if first {
+		t.Fatal("no events produced")
+	}
+}

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -22,6 +23,14 @@ import (
 // aggregates. Devices are sharded across workers, each with its own
 // discrete-event clock and RNG stream; runs are deterministic for a given
 // seed regardless of worker count.
+//
+// Each worker simulates its contiguous device range as a sequence of
+// independent lanes: one device at a time on one reused scheduler, RNG
+// source, and scratch arena. Device streams are keyed by device index, so
+// the per-device draw sequences — and hence every aggregate and recorded
+// event — are identical to running all devices interleaved on one shared
+// queue (the legacyShardQueue arm keeps that architecture as the
+// equivalence oracle and benchmark baseline).
 func Run(s Scenario) (*Result, error) {
 	runStart := time.Now()
 	defer func() { mRunSeconds.Observe(time.Since(runStart).Seconds()) }()
@@ -66,14 +75,19 @@ func Run(s Scenario) (*Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			outs[w] = runShard(&s, network, dataset, modelPick, refMass, inj, w, lo, hi)
+			if s.legacyShardQueue {
+				outs[w] = runShardShared(&s, modelPick, refMass, network, inj, w, lo, hi)
+			} else {
+				outs[w] = runShardLanes(&s, modelPick, refMass, network, inj, w, lo, hi)
+			}
 		}()
 	}
 	wg.Wait()
 
 	res := &Result{Scenario: s, Dataset: dataset, Network: network}
 	var cpuSum float64
-	for _, o := range outs {
+	for i := range outs {
+		o := &outs[i]
 		if o.err != nil {
 			return nil, o.err
 		}
@@ -111,6 +125,9 @@ func Run(s Scenario) (*Result, error) {
 	if res.Overhead.Devices > 0 {
 		res.Overhead.MeanCPUUtilization = cpuSum / float64(res.Overhead.Devices)
 	}
+	if s.UploadAddr == "" {
+		publishMerged(dataset, outs)
+	}
 	res.Faults = inj.Report()
 	return res, nil
 }
@@ -121,6 +138,10 @@ type shardOut struct {
 	mon       monitorAgg
 	overhead  OverheadSummary
 	integrity IntegrityReport
+	// events is the worker's buffered event output (direct-append runs
+	// only), sorted by the canonical (Start, DeviceID, record index) key;
+	// Run merges the workers' streams into the shared dataset.
+	events []failure.Event
 	// recordedDigest/recordedEvents summarize the events this shard's
 	// devices recorded, accumulated before the uploader (and any injected
 	// network fault) touches them — the ground truth side of invariant I4.
@@ -136,9 +157,96 @@ type monitorAgg struct {
 	byFPClass                               [failure.NumFalsePositiveClasses]int
 }
 
-// runShard simulates devices [lo, hi) on a private clock. shard is the
-// worker index, used only as a metrics label.
-func runShard(s *Scenario, network *simnet.Network, dataset *trace.Dataset, modelPick *rng.Categorical, refMass map[classKey]classMass, inj *faultinject.Injector, shard, lo, hi int) (out shardOut) {
+// shardIO is the event-delivery half of a worker: events either buffer
+// locally (sortCanonical then merged by Run) or stream to a TCP uploader.
+type shardIO struct {
+	buffer   []failure.Event
+	uploader *trace.Uploader
+}
+
+// setup wires the worker's sink into state. The sink wrapper bumps the
+// fleet-wide event counter; it is a bare atomic add, so the hot path stays
+// allocation-free and shard determinism is untouched.
+func (sio *shardIO) setup(s *Scenario, state *shardState, inj *faultinject.Injector, lo int, out *shardOut) error {
+	if s.UploadAddr != "" {
+		sio.uploader = trace.NewUploader(s.UploadAddr, uint64(lo))
+		// Short, seeded backoff: the collector is local, so retries are
+		// cheap; the jitter stream is split per shard so retry timing never
+		// couples shards (and cannot perturb the simulation, which runs on
+		// its own virtual clock).
+		sio.uploader.SetBackoff(2*time.Millisecond, 50*time.Millisecond,
+			rng.SplitIndexed(s.Seed, "uploader-backoff", lo))
+		if s.UploadBufferLimit > 0 {
+			sio.uploader.BufferLimit = s.UploadBufferLimit
+		}
+		if s.UploadSpillDir != "" {
+			if err := sio.uploader.EnableSpill(s.UploadSpillDir); err != nil {
+				return fmt.Errorf("fleet: enable upload spill: %w", err)
+			}
+		}
+		if inj.HasNetworkFaults() {
+			sio.uploader.SetChaos(inj)
+		}
+	}
+	state.sink = func(e failure.Event) {
+		mEvents.Inc()
+		if sio.uploader != nil {
+			// Digest before upload: this is what the device observed, the
+			// reference the collector's dataset must reproduce exactly.
+			out.recordedDigest.Add(trace.EventDigest(&e))
+			out.recordedEvents++
+			sio.uploader.Record(e)
+			return
+		}
+		sio.buffer = append(sio.buffer, e)
+	}
+	return nil
+}
+
+// finish flushes the uploader (with retries) or sorts the local buffer
+// into canonical order for Run's cross-worker merge.
+func (sio *shardIO) finish(inj *faultinject.Injector, out *shardOut) {
+	if sio.uploader == nil {
+		sortCanonical(sio.buffer)
+		out.events = sio.buffer
+		return
+	}
+	sio.uploader.SetWiFi(true)
+	// The end-of-shard flush is the one upload that must not be lost;
+	// retry transient collector failures before surfacing the error,
+	// counting retries for the dashboard. Under an injected network
+	// fault campaign every attempt can fail with high probability, so
+	// the budget rises accordingly — at-least-once is only as good as
+	// the sender's persistence, and the collector dedups the rest.
+	attempts := shardFlushAttempts
+	if inj.HasNetworkFaults() {
+		attempts = shardFlushAttemptsChaos
+	}
+	var err error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			mUploadRetries.Inc()
+			if d := sio.uploader.RetryDelay(); d > 0 {
+				time.Sleep(d)
+			} else {
+				time.Sleep(time.Duration(attempt) * 100 * time.Millisecond)
+			}
+		}
+		if err = sio.uploader.Flush(); err == nil {
+			break
+		}
+	}
+	if err != nil {
+		out.err = fmt.Errorf("fleet: upload shard events: %w", err)
+	}
+}
+
+// runShardLanes simulates devices [lo, hi) one at a time, reusing a single
+// scheduler, RNG source, and scratch arena across the whole range. Steady-
+// state allocation is near zero: each device's plan, candidate buffers, and
+// timers live in recycled lane storage. shard is the worker index, used
+// only as a metrics label.
+func runShardLanes(s *Scenario, modelPick *rng.Categorical, refMass map[classKey]classMass, network *simnet.Network, inj *faultinject.Injector, shard, lo, hi int) (out shardOut) {
 	shardStart := time.Now()
 	mShardsStarted.Inc()
 	mShardsActive.Add(1)
@@ -151,46 +259,68 @@ func runShard(s *Scenario, network *simnet.Network, dataset *trace.Dataset, mode
 	clock := simclock.NewScheduler()
 	state := &shardState{refMass: refMass}
 	out.state = state
-
-	// Event delivery: direct append (buffered locally) or TCP upload.
-	// The sink wrapper bumps the fleet-wide event counter; it is a bare
-	// atomic add, so the hot path stays allocation-free and shard
-	// determinism is untouched.
-	var buffer []failure.Event
-	var uploader *trace.Uploader
-	if s.UploadAddr != "" {
-		uploader = trace.NewUploader(s.UploadAddr, uint64(lo))
-		// Short, seeded backoff: the collector is local, so retries are
-		// cheap; the jitter stream is split per shard so retry timing never
-		// couples shards (and cannot perturb the simulation, which runs on
-		// its own virtual clock).
-		uploader.SetBackoff(2*time.Millisecond, 50*time.Millisecond,
-			rng.SplitIndexed(s.Seed, "uploader-backoff", lo))
-		if s.UploadBufferLimit > 0 {
-			uploader.BufferLimit = s.UploadBufferLimit
-		}
-		if s.UploadSpillDir != "" {
-			if err := uploader.EnableSpill(s.UploadSpillDir); err != nil {
-				out.err = fmt.Errorf("fleet: enable upload spill: %w", err)
-				return out
-			}
-		}
-		if inj.HasNetworkFaults() {
-			uploader.SetChaos(inj)
-		}
-		defer uploader.Close()
+	var sio shardIO
+	if err := sio.setup(s, state, inj, lo, &out); err != nil {
+		out.err = err
+		return out
 	}
-	state.sink = func(e failure.Event) {
-		mEvents.Inc()
-		if uploader != nil {
-			// Digest before upload: this is what the device observed, the
-			// reference the collector's dataset must reproduce exactly.
-			out.recordedDigest.Add(trace.EventDigest(&e))
-			out.recordedEvents++
-			uploader.Record(e)
-			return
-		}
-		buffer = append(buffer, e)
+	if sio.uploader != nil {
+		defer sio.uploader.Close()
+	}
+
+	depth := mQueueDepth.With(strconv.Itoa(shard))
+	scr := newLaneScratch()
+	r := rng.New(0)
+	models := device.Models()
+	// Run the window plus slack for in-flight episodes to conclude.
+	until := s.Window + 2*time.Hour
+	var executed int
+	for i := lo; i < hi; i++ {
+		r.Reseed(rng.IndexedSeed(s.Seed, "device", i))
+		m := models[modelPick.Draw(r)]
+		a := newActor(uint64(i+1), m, clock, r, s, network, state, inj, scr)
+		// The gauge tracks the lane's plan backlog: with one device per
+		// queue it peaks right after planning.
+		depth.Set(float64(clock.QueueLen()))
+		executed += clock.Run(until)
+		harvestActor(a, &out)
+		mDevices.Inc()
+		clock.Reset()
+	}
+	mSimEvents.Add(int64(executed))
+	depth.Set(0)
+	if out.overhead.Devices > 0 {
+		out.overhead.MeanCPUUtilization /= float64(out.overhead.Devices)
+	}
+	sio.finish(inj, &out)
+	return out
+}
+
+// runShardShared simulates devices [lo, hi) interleaved on one shared event
+// queue — the pre-lane architecture. It is retained as the benchmark
+// baseline and as the equivalence oracle for the lane runner: both must
+// produce byte-identical ordered digests. shard is the worker index, used
+// only as a metrics label.
+func runShardShared(s *Scenario, modelPick *rng.Categorical, refMass map[classKey]classMass, network *simnet.Network, inj *faultinject.Injector, shard, lo, hi int) (out shardOut) {
+	shardStart := time.Now()
+	mShardsStarted.Inc()
+	mShardsActive.Add(1)
+	defer func() {
+		mShardsActive.Add(-1)
+		mShardsDone.Inc()
+		mShardSeconds.Observe(time.Since(shardStart).Seconds())
+	}()
+
+	clock := simclock.NewScheduler()
+	state := &shardState{refMass: refMass}
+	out.state = state
+	var sio shardIO
+	if err := sio.setup(s, state, inj, lo, &out); err != nil {
+		out.err = err
+		return out
+	}
+	if sio.uploader != nil {
+		defer sio.uploader.Close()
 	}
 
 	// Sample this shard's event-queue depth every simulated hour. The
@@ -209,7 +339,8 @@ func runShard(s *Scenario, network *simnet.Network, dataset *trace.Dataset, mode
 	for i := lo; i < hi; i++ {
 		r := rng.SplitIndexed(s.Seed, "device", i)
 		m := models[modelPick.Draw(r)]
-		actors = append(actors, newActor(uint64(i+1), m, clock, r, s, network, state, inj))
+		// Actors are alive concurrently here, so each needs a private arena.
+		actors = append(actors, newActor(uint64(i+1), m, clock, r, s, network, state, inj, newLaneScratch()))
 	}
 
 	// Run the window plus slack for in-flight episodes to conclude.
@@ -219,84 +350,122 @@ func runShard(s *Scenario, network *simnet.Network, dataset *trace.Dataset, mode
 	depth.Set(0)
 
 	for _, a := range actors {
-		switch a.dc.State() {
-		case android.DcInactive, android.DcActive:
-		default:
-			out.integrity.Wedged++
-		}
-		if a.inSetup {
-			out.integrity.OpenSetups++
-		}
-		if a.busy {
-			out.integrity.OpenEpisodes++
-		}
-		o := a.mon.Overhead()
-		st := a.mon.Stats()
-		out.mon.recorded += st.Recorded
-		out.mon.filteredSetup += st.FilteredSetup
-		out.mon.filteredStalls += st.FilteredStalls
-		out.mon.probeRounds += st.ProbeRounds
-		out.mon.stallsMeasured += st.StallsMeasured
-		out.mon.legacyFallbacks += st.LegacyFallbacks
-		for i, v := range st.ByFPClass {
-			out.mon.byFPClass[i] += v
-		}
-		out.overhead.Devices++
-		out.overhead.MeanCPUUtilization += o.CPUUtilization()
-		if u := o.CPUUtilization(); u > out.overhead.MaxCPUUtilization {
-			out.overhead.MaxCPUUtilization = u
-		}
-		if o.MemoryPeakBytes > out.overhead.MaxMemoryBytes {
-			out.overhead.MaxMemoryBytes = o.MemoryPeakBytes
-		}
-		if o.StorageBytes > out.overhead.MaxStorageBytes {
-			out.overhead.MaxStorageBytes = o.StorageBytes
-		}
-		if o.NetworkBytes > out.overhead.MaxNetworkBytes {
-			out.overhead.MaxNetworkBytes = o.NetworkBytes
-		}
-		out.overhead.TotalNetworkBytes += o.NetworkBytes
+		harvestActor(a, &out)
 	}
 	if out.overhead.Devices > 0 {
 		out.overhead.MeanCPUUtilization /= float64(out.overhead.Devices)
 	}
-
-	if uploader != nil {
-		uploader.SetWiFi(true)
-		// The end-of-shard flush is the one upload that must not be lost;
-		// retry transient collector failures before surfacing the error,
-		// counting retries for the dashboard. Under an injected network
-		// fault campaign every attempt can fail with high probability, so
-		// the budget rises accordingly — at-least-once is only as good as
-		// the sender's persistence, and the collector dedups the rest.
-		attempts := shardFlushAttempts
-		if inj.HasNetworkFaults() {
-			attempts = shardFlushAttemptsChaos
-		}
-		var err error
-		for attempt := 0; attempt < attempts; attempt++ {
-			if attempt > 0 {
-				mUploadRetries.Inc()
-				if d := uploader.RetryDelay(); d > 0 {
-					time.Sleep(d)
-				} else {
-					time.Sleep(time.Duration(attempt) * 100 * time.Millisecond)
-				}
-			}
-			if err = uploader.Flush(); err == nil {
-				break
-			}
-		}
-		if err != nil {
-			out.err = fmt.Errorf("fleet: upload shard events: %w", err)
-		}
-	} else {
-		// Pin the shard to the worker index: appends from different
-		// workers never contend, and a fixed seed yields the same
-		// dataset iteration order for any worker count.
-		dataset.AppendShard(shard, buffer...)
-	}
+	sio.finish(inj, &out)
 	return out
+}
+
+// harvestActor folds one finished device into the worker's aggregates:
+// state-machine integrity, monitor statistics, and overhead accounting.
+// MeanCPUUtilization accumulates a sum here; callers divide by Devices.
+func harvestActor(a *actor, out *shardOut) {
+	switch a.dc.State() {
+	case android.DcInactive, android.DcActive:
+	default:
+		out.integrity.Wedged++
+	}
+	if a.inSetup {
+		out.integrity.OpenSetups++
+	}
+	if a.busy {
+		out.integrity.OpenEpisodes++
+	}
+	o := a.mon.Overhead()
+	st := a.mon.Stats()
+	out.mon.recorded += st.Recorded
+	out.mon.filteredSetup += st.FilteredSetup
+	out.mon.filteredStalls += st.FilteredStalls
+	out.mon.probeRounds += st.ProbeRounds
+	out.mon.stallsMeasured += st.StallsMeasured
+	out.mon.legacyFallbacks += st.LegacyFallbacks
+	for i, v := range st.ByFPClass {
+		out.mon.byFPClass[i] += v
+	}
+	out.overhead.Devices++
+	out.overhead.MeanCPUUtilization += o.CPUUtilization()
+	if u := o.CPUUtilization(); u > out.overhead.MaxCPUUtilization {
+		out.overhead.MaxCPUUtilization = u
+	}
+	if o.MemoryPeakBytes > out.overhead.MaxMemoryBytes {
+		out.overhead.MaxMemoryBytes = o.MemoryPeakBytes
+	}
+	if o.StorageBytes > out.overhead.MaxStorageBytes {
+		out.overhead.MaxStorageBytes = o.StorageBytes
+	}
+	if o.NetworkBytes > out.overhead.MaxNetworkBytes {
+		out.overhead.MaxNetworkBytes = o.NetworkBytes
+	}
+	out.overhead.TotalNetworkBytes += o.NetworkBytes
+}
+
+// sortCanonical orders a worker's buffered events by the canonical merge
+// key: virtual start time, then device ID, then per-device record index.
+// Both runner modes append a device's events in its recording order, so a
+// stable sort on (Start, DeviceID) realizes the full key without storing
+// record indices. The key is a strict total order independent of how
+// devices were partitioned across workers — the foundation of the
+// worker-count-independent dataset ORDER contract (see DESIGN.md).
+func sortCanonical(events []failure.Event) {
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].Start != events[j].Start {
+			return events[i].Start < events[j].Start
+		}
+		return events[i].DeviceID < events[j].DeviceID
+	})
+}
+
+// publishMerged k-way-merges the workers' canonically sorted event streams
+// into one exact-size array and publishes it to the dataset as contiguous
+// zero-copy segments (mirroring trace.FromEvents' partitioning). Workers
+// own disjoint device ranges, so (Start, DeviceID) never ties across
+// streams and the merge is a strict total order: the dataset's iteration
+// order is byte-identical for any worker count.
+func publishMerged(dataset *trace.Dataset, outs []shardOut) {
+	total := 0
+	for i := range outs {
+		total += len(outs[i].events)
+	}
+	if total == 0 {
+		return
+	}
+	merged := make([]failure.Event, 0, total)
+	heads := make([]int, len(outs))
+	for len(merged) < total {
+		best := -1
+		for w := range outs {
+			if heads[w] >= len(outs[w].events) {
+				continue
+			}
+			if best < 0 {
+				best = w
+				continue
+			}
+			a, b := &outs[w].events[heads[w]], &outs[best].events[heads[best]]
+			if a.Start < b.Start || (a.Start == b.Start && a.DeviceID < b.DeviceID) {
+				best = w
+			}
+		}
+		merged = append(merged, outs[best].events[heads[best]])
+		heads[best]++
+	}
+	ns := dataset.NumShards()
+	base, rem := total/ns, total%ns
+	off := 0
+	for sh := 0; sh < ns; sh++ {
+		n := base
+		if sh < rem {
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		dataset.PublishShard(sh, merged[off:off+n:off+n])
+		off += n
+	}
 }
 
 // shardFlushAttempts bounds the end-of-shard upload retry loop;

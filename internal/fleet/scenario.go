@@ -92,6 +92,13 @@ type Scenario struct {
 	// downgrades, stall storms — on the generated environment. Nil runs
 	// the calm calibrated environment; see internal/faultinject.
 	Faults *faultinject.Campaign
+
+	// legacyShardQueue runs each worker's devices interleaved on one shared
+	// event queue (the pre-lane architecture) instead of one device at a
+	// time on a reused lane. Kept unexported: it exists as the benchmark
+	// baseline and the equivalence oracle for the lane runner, not as a
+	// supported configuration.
+	legacyShardQueue bool
 }
 
 // Outage is a scheduled regional infrastructure failure.
@@ -136,6 +143,11 @@ func (s Scenario) withDefaults() Scenario {
 	}
 	return s
 }
+
+// Normalized returns the scenario with all defaults applied — the exact
+// configuration Run will execute. Front-ends use it to report true device
+// counts and windows instead of zero-valued config fields.
+func (s Scenario) Normalized() Scenario { return s.withDefaults() }
 
 // Patched returns a copy of the scenario with both §4.2 enhancements
 // enabled: the stability-compatible RAT policy with dual connectivity and

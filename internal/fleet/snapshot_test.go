@@ -1,0 +1,158 @@
+package fleet
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/failure"
+)
+
+// TestSnapshotRoundTripDeepEquality pins the persistence contract beyond
+// the length/census spot checks of TestSnapshotRoundTrip: a result saved
+// with SaveResult and read back with LoadResult carries the identical
+// events (content AND order), aggregates, overhead, and scenario identity.
+func TestSnapshotRoundTripDeepEquality(t *testing.T) {
+	res := runFleet(t, Scenario{Seed: 11, NumDevices: 150, Workers: 3})
+	if res.Dataset.Len() == 0 {
+		t.Fatal("run produced no events")
+	}
+	path := filepath.Join(t.TempDir(), "run.snap.gz")
+	if err := SaveResult(path, res); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadResult(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(got.Dataset.Events(), res.Dataset.Events()) {
+		t.Error("events diverged across the snapshot round trip")
+	}
+	if got.Population != res.Population {
+		t.Errorf("population: got %+v want %+v", got.Population, res.Population)
+	}
+	if got.Transitions != res.Transitions {
+		t.Error("transition matrix diverged")
+	}
+	if got.Dwell != res.Dwell {
+		t.Error("dwell stats diverged")
+	}
+	if got.Overhead != res.Overhead {
+		t.Errorf("overhead: got %+v want %+v", got.Overhead, res.Overhead)
+	}
+	if got.Monitor != res.Monitor {
+		t.Errorf("monitor stats: got %+v want %+v", got.Monitor, res.Monitor)
+	}
+	if len(got.Network.Stations) != len(res.Network.Stations) {
+		t.Errorf("stations: got %d want %d", len(got.Network.Stations), len(res.Network.Stations))
+	}
+	if got.Scenario.Seed != res.Scenario.Seed || got.Scenario.NumDevices != res.Scenario.NumDevices ||
+		got.Scenario.Window != res.Scenario.Window {
+		t.Errorf("scenario identity lost: got %+v", got.Scenario)
+	}
+
+	// The restored result must be analyzable the same way: ExtractMetrics
+	// over both sides agrees field for field.
+	if a, b := ExtractMetrics("x", res), ExtractMetrics("x", got); a != b {
+		t.Errorf("metrics diverged: %+v vs %+v", a, b)
+	}
+}
+
+// TestSnapshotPreservesTransitionPointers checks that events carrying a
+// TransitionInfo keep it through gob (pointer fields are easy to lose to
+// nil-elision bugs).
+func TestSnapshotPreservesTransitionPointers(t *testing.T) {
+	res := runFleet(t, Scenario{Seed: 3, NumDevices: 400, Workers: 2})
+	count := func(events []failure.Event) int {
+		n := 0
+		for i := range events {
+			if events[i].Transition != nil {
+				n++
+			}
+		}
+		return n
+	}
+	want := count(res.Dataset.Events())
+	if want == 0 {
+		t.Skip("seed produced no transition-tagged events")
+	}
+	path := filepath.Join(t.TempDir(), "run.snap.gz")
+	if err := SaveResult(path, res); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadResult(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := count(got.Dataset.Events()); n != want {
+		t.Errorf("transition-tagged events: got %d want %d", n, want)
+	}
+}
+
+// TestLoadResultCorrupt covers the non-gzip payload failure path (the
+// missing-file path lives in TestLoadResultMissing).
+func TestLoadResultCorrupt(t *testing.T) {
+	raw := filepath.Join(t.TempDir(), "raw")
+	if err := os.WriteFile(raw, []byte("not a gzip stream"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadResult(raw); err == nil {
+		t.Error("non-gzip payload: want error")
+	}
+}
+
+// TestSaveResultBadPath surfaces filesystem errors instead of losing them.
+func TestSaveResultBadPath(t *testing.T) {
+	res := runFleet(t, Scenario{Seed: 1, NumDevices: 5, Workers: 1})
+	if err := SaveResult(filepath.Join(t.TempDir(), "no", "such", "dir", "x.gz"), res); err == nil {
+		t.Error("want error for unwritable path")
+	}
+}
+
+// TestSweepDeterministicAcrossWorkers pins that a sweep's extracted
+// metrics are identical whether each variant runs on one worker or four —
+// the sweep-facing corollary of the runner's determinism contract.
+func TestSweepDeterministicAcrossWorkers(t *testing.T) {
+	mk := func(workers int) []SweepPoint {
+		return []SweepPoint{
+			{Name: "vanilla", Scenario: Scenario{Seed: 21, NumDevices: 120, Workers: workers}},
+			{Name: "never5g", Scenario: Scenario{Seed: 21, NumDevices: 120, Workers: workers, Policy: PolicyNever5G}},
+		}
+	}
+	m1, err := Sweep(mk(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m4, err := Sweep(mk(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m1, m4) {
+		t.Errorf("sweep metrics diverged across worker counts:\n1: %+v\n4: %+v", m1, m4)
+	}
+	for _, m := range m1 {
+		if m.Events == 0 {
+			t.Errorf("%s: sweep variant produced no events", m.Name)
+		}
+	}
+}
+
+// TestSweepSurfacesRunErrors checks a failing variant aborts the sweep
+// with its name attached.
+func TestSweepSurfacesRunErrors(t *testing.T) {
+	_, err := Sweep([]SweepPoint{{
+		Name: "bad-upload",
+		// An unreachable collector makes Run fail after its flush retries
+		// (a fleet this size always records events, so the flush is real).
+		Scenario: Scenario{Seed: 1, NumDevices: 200, Workers: 1, UploadAddr: "127.0.0.1:1"},
+	}})
+	if err == nil {
+		t.Fatal("want error from unreachable collector")
+	}
+	if got := err.Error(); !strings.Contains(got, "bad-upload") {
+		t.Errorf("error does not name the failing variant: %v", got)
+	}
+}

@@ -37,6 +37,13 @@ func (s *Source) Split(label string) *Source {
 // SplitIndexed derives an independent child stream from a label and index,
 // e.g. one stream per simulated device.
 func SplitIndexed(seed int64, label string, index int) *Source {
+	return New(IndexedSeed(seed, label, index))
+}
+
+// IndexedSeed is the seed SplitIndexed derives from (seed, label, index).
+// Exposing it lets a caller Reseed an existing Source onto the same stream
+// SplitIndexed would have created, without allocating a new generator.
+func IndexedSeed(seed int64, label string, index int) int64 {
 	h := fnv.New64a()
 	h.Write([]byte(label))
 	var buf [16]byte
@@ -45,8 +52,13 @@ func SplitIndexed(seed int64, label string, index int) *Source {
 		buf[8+i] = byte(index >> (8 * i))
 	}
 	h.Write(buf[:])
-	return New(int64(h.Sum64()))
+	return int64(h.Sum64())
 }
+
+// Reseed re-seeds the Source in place. The subsequent draw sequence is
+// identical to New(seed)'s, so a worker lane can reuse one Source across
+// many simulated devices instead of allocating a generator per device.
+func (s *Source) Reseed(seed int64) { s.r.Seed(seed) }
 
 // Float64 returns a uniform value in [0,1).
 func (s *Source) Float64() float64 { return s.r.Float64() }
@@ -164,6 +176,35 @@ func (c *Categorical) Prob(i int) float64 {
 		return c.cum[0]
 	}
 	return c.cum[i] - c.cum[i-1]
+}
+
+// BuildCum fills cum (reusing its storage) with the cumulative normalized
+// distribution NewCategorical would build from weights. Draws via DrawCum
+// are bit-identical to NewCategorical(weights).Draw, but the table lives
+// in caller-owned scratch instead of a fresh allocation per build.
+func BuildCum(cum, weights []float64) []float64 {
+	cum = append(cum[:0], weights...)
+	total := 0.0
+	for i, w := range cum {
+		if w < 0 {
+			w = 0
+		}
+		total += w
+		cum[i] = total
+	}
+	if total <= 0 {
+		panic("rng: categorical weights sum to zero")
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return cum
+}
+
+// DrawCum draws an index from a cumulative table built by BuildCum.
+func DrawCum(r *Source, cum []float64) int {
+	u := r.Float64()
+	return sort.SearchFloat64s(cum, u)
 }
 
 // Shuffle pseudorandomly permutes the first n elements using swap.

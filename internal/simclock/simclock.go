@@ -6,10 +6,18 @@
 // stack (probation timers, probe timeouts, stall detection windows) is
 // scheduled on a Scheduler, so months of fleet activity execute in seconds
 // and runs are exactly reproducible for a given seed.
+//
+// Internally the scheduler is a two-level timer wheel: events for the
+// current coarse tick live in a small value-type binary heap, while events
+// for future ticks are batched into unsorted per-tick buckets (an O(1)
+// append) and heapified only when their tick is promoted. Months-out
+// episode plans therefore never pay per-event heap maintenance against the
+// sub-second timers of the episode currently executing, and the value-type
+// event records mean Post/PostIdx scheduling allocates nothing. The
+// execution order is identical to a single global (at, seq) min-heap.
 package simclock
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -17,19 +25,46 @@ import (
 // Time is virtual time elapsed since the start of the simulation.
 type Time = time.Duration
 
+// tickSpan is the wheel granularity. One virtual hour keeps an episode's
+// burst of sub-minute timers inside the current-tick heap while spreading
+// a window's worth of planned episodes across cheap unsorted buckets.
+const tickSpan = time.Hour
+
+// event is one scheduled entry. Events are stored by value in the wheel's
+// slices; only handle-carrying entries (At/After) allocate a Timer.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+	ifn func(int32)
+	idx int32
+	t   *Timer
+}
+
 // Scheduler is a single-threaded discrete-event scheduler. It is not safe
 // for concurrent use; a fleet run shards devices across independent
 // Schedulers instead of sharing one.
 type Scheduler struct {
 	now    Time
-	queue  eventQueue
 	seq    uint64
 	halted bool
+
+	// curTick is the most recently promoted wheel tick. cur is a min-heap
+	// on (at, seq) holding every event due at or before curTick's end; far
+	// holds unsorted buckets for strictly later ticks, ordered by the
+	// ticks min-heap. queued counts all stored events, including stopped
+	// timers not yet popped.
+	curTick int64
+	cur     []event
+	far     map[int64][]event
+	ticks   []int64
+	free    [][]event
+	queued  int
 }
 
 // NewScheduler returns a Scheduler with the clock at zero.
 func NewScheduler() *Scheduler {
-	return &Scheduler{}
+	return &Scheduler{far: make(map[int64][]event)}
 }
 
 // Now returns the current virtual time.
@@ -38,8 +73,6 @@ func (s *Scheduler) Now() Time { return s.now }
 // Timer is a handle to a scheduled event; it can be stopped before firing.
 type Timer struct {
 	at      Time
-	seq     uint64
-	fn      func()
 	stopped bool
 	fired   bool
 }
@@ -60,18 +93,15 @@ func (t *Timer) Active() bool { return t != nil && !t.fired && !t.stopped }
 // When returns the virtual time at which the timer fires (or fired).
 func (t *Timer) When() Time { return t.at }
 
-// At schedules fn to run at absolute virtual time at. Scheduling in the past
-// panics: it is always a logic error in a discrete-event model.
+// At schedules fn to run at absolute virtual time at and returns a
+// stoppable handle. Scheduling in the past panics: it is always a logic
+// error in a discrete-event model.
 func (s *Scheduler) At(at Time, fn func()) *Timer {
-	if at < s.now {
-		panic(fmt.Sprintf("simclock: schedule at %v before now %v", at, s.now))
-	}
 	if fn == nil {
 		panic("simclock: nil event function")
 	}
-	s.seq++
-	t := &Timer{at: at, seq: s.seq, fn: fn}
-	heap.Push(&s.queue, t)
+	t := &Timer{at: at}
+	s.schedule(event{at: at, fn: fn, t: t})
 	return t
 }
 
@@ -83,20 +113,126 @@ func (s *Scheduler) After(d time.Duration, fn func()) *Timer {
 	return s.At(s.now+d, fn)
 }
 
+// Post schedules fn at absolute virtual time at without a handle. It is
+// the fire-and-forget variant of At for call sites that never Stop the
+// timer: no Timer is allocated and the event lives by value in the wheel.
+func (s *Scheduler) Post(at Time, fn func()) {
+	if fn == nil {
+		panic("simclock: nil event function")
+	}
+	s.schedule(event{at: at, fn: fn})
+}
+
+// PostAfter schedules fn to run d after the current virtual time, without
+// a handle.
+func (s *Scheduler) PostAfter(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.Post(s.now+d, fn)
+}
+
+// PostIdx schedules fn(idx) at absolute virtual time at. A caller that
+// pre-plans many events can reuse one method-value fn for all of them and
+// pass the plan index here, so scheduling N events costs zero allocations
+// instead of N closures.
+func (s *Scheduler) PostIdx(at Time, fn func(int32), idx int32) {
+	if fn == nil {
+		panic("simclock: nil event function")
+	}
+	s.schedule(event{at: at, ifn: fn, idx: idx})
+}
+
+// schedule stamps the event's sequence number and files it: current-tick
+// (or earlier, for schedules issued between Runs) events go straight into
+// the sorted heap, future ticks into unsorted buckets.
+func (s *Scheduler) schedule(e event) {
+	if e.at < s.now {
+		panic(fmt.Sprintf("simclock: schedule at %v before now %v", e.at, s.now))
+	}
+	s.seq++
+	e.seq = s.seq
+	s.queued++
+	tk := int64(e.at / tickSpan)
+	if tk <= s.curTick {
+		s.pushCur(e)
+		return
+	}
+	b, ok := s.far[tk]
+	if !ok {
+		if n := len(s.free); n > 0 {
+			b = s.free[n-1]
+			s.free = s.free[:n-1]
+		}
+		s.pushTick(tk)
+	}
+	s.far[tk] = append(b, e)
+}
+
+// promote drains bucket after bucket into the current-tick heap until it
+// holds at least one event, reporting whether any event is pending.
+func (s *Scheduler) promote() bool {
+	for len(s.cur) == 0 {
+		if len(s.ticks) == 0 {
+			return false
+		}
+		tk := s.popTick()
+		b := s.far[tk]
+		delete(s.far, tk)
+		s.curTick = tk
+		// Adopt the bucket's storage as the new heap and recycle the
+		// drained heap's array as a future bucket.
+		if cap(s.cur) > 0 {
+			s.free = append(s.free, s.cur[:0])
+		}
+		s.cur = b
+		for i := len(b)/2 - 1; i >= 0; i-- {
+			s.siftDown(i)
+		}
+	}
+	return true
+}
+
 // Step executes the single earliest pending event, advancing the clock to
 // its deadline. It reports whether an event was executed.
 func (s *Scheduler) Step() bool {
-	for s.queue.Len() > 0 {
-		t := heap.Pop(&s.queue).(*Timer)
-		if t.stopped {
-			continue
+	for {
+		if len(s.cur) == 0 && !s.promote() {
+			return false
 		}
-		s.now = t.at
-		t.fired = true
-		t.fn()
+		e := s.popCur()
+		s.queued--
+		if e.t != nil {
+			if e.t.stopped {
+				continue
+			}
+			e.t.fired = true
+		}
+		s.now = e.at
+		if e.fn != nil {
+			e.fn()
+		} else {
+			e.ifn(e.idx)
+		}
 		return true
 	}
-	return false
+}
+
+// peekAt returns the deadline of the earliest pending event, discarding
+// stopped timers it encounters on the way.
+func (s *Scheduler) peekAt() (Time, bool) {
+	for {
+		if len(s.cur) == 0 && !s.promote() {
+			return 0, false
+		}
+		e := &s.cur[0]
+		if e.t != nil && e.t.stopped {
+			s.popCur()
+			s.queued--
+			continue
+		}
+		return e.at, true
+	}
 }
 
 // Run executes events in timestamp order until the queue is empty, the
@@ -107,8 +243,8 @@ func (s *Scheduler) Run(until Time) int {
 	s.halted = false
 	n := 0
 	for !s.halted {
-		t := s.peek()
-		if t == nil || t.at > until {
+		at, ok := s.peekAt()
+		if !ok || at > until {
 			break
 		}
 		s.Step()
@@ -134,57 +270,142 @@ func (s *Scheduler) RunAll() int {
 // Halt stops a Run/RunAll in progress after the current event returns.
 func (s *Scheduler) Halt() { s.halted = true }
 
+// Reset returns the scheduler to its initial state — clock at zero, no
+// pending events — while retaining its internal storage. A fleet worker
+// lane runs one device to completion, Resets, and reuses the scheduler
+// for the next device, so steady-state simulation does not grow the heap.
+func (s *Scheduler) Reset() {
+	s.now, s.seq, s.curTick = 0, 0, 0
+	s.halted = false
+	s.queued = 0
+	for i := range s.cur {
+		s.cur[i] = event{}
+	}
+	s.cur = s.cur[:0]
+	for tk, b := range s.far {
+		for i := range b {
+			b[i] = event{}
+		}
+		s.free = append(s.free, b[:0])
+		delete(s.far, tk)
+	}
+	s.ticks = s.ticks[:0]
+}
+
 // QueueLen returns the raw event-queue length, including stopped-but-
 // unpopped timers. Unlike Pending it is O(1), so instrumentation (the
 // fleet's per-shard queue-depth gauge) can sample it every simulated
 // hour without scanning the heap.
-func (s *Scheduler) QueueLen() int { return len(s.queue) }
+func (s *Scheduler) QueueLen() int { return s.queued }
 
 // Pending returns the number of pending (not stopped) events.
 func (s *Scheduler) Pending() int {
 	n := 0
-	for _, t := range s.queue {
-		if !t.stopped {
+	for i := range s.cur {
+		if e := &s.cur[i]; e.t == nil || !e.t.stopped {
 			n++
+		}
+	}
+	for _, b := range s.far {
+		for i := range b {
+			if e := &b[i]; e.t == nil || !e.t.stopped {
+				n++
+			}
 		}
 	}
 	return n
 }
 
-func (s *Scheduler) peek() *Timer {
-	for s.queue.Len() > 0 {
-		t := s.queue[0]
-		if t.stopped {
-			heap.Pop(&s.queue)
-			continue
+// --- current-tick heap: min-heap on (at, seq) over value events ---------
+
+func (s *Scheduler) pushCur(e event) {
+	s.cur = append(s.cur, e)
+	i := len(s.cur) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !evLess(&s.cur[i], &s.cur[parent]) {
+			break
 		}
-		return t
+		s.cur[i], s.cur[parent] = s.cur[parent], s.cur[i]
+		i = parent
 	}
-	return nil
 }
 
-// eventQueue is a min-heap on (at, seq); seq breaks ties so same-time events
+func (s *Scheduler) popCur() event {
+	e := s.cur[0]
+	n := len(s.cur) - 1
+	s.cur[0] = s.cur[n]
+	s.cur[n] = event{}
+	s.cur = s.cur[:n]
+	if n > 0 {
+		s.siftDown(0)
+	}
+	return e
+}
+
+func (s *Scheduler) siftDown(i int) {
+	n := len(s.cur)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		min := l
+		if r := l + 1; r < n && evLess(&s.cur[r], &s.cur[l]) {
+			min = r
+		}
+		if !evLess(&s.cur[min], &s.cur[i]) {
+			return
+		}
+		s.cur[i], s.cur[min] = s.cur[min], s.cur[i]
+		i = min
+	}
+}
+
+// evLess orders events by (at, seq); seq breaks ties so same-time events
 // fire in scheduling order, which keeps runs deterministic.
-type eventQueue []*Timer
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+func evLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
 
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+// --- tick heap: min-heap over bucket keys -------------------------------
 
-func (q *eventQueue) Push(x any) { *q = append(*q, x.(*Timer)) }
+func (s *Scheduler) pushTick(tk int64) {
+	s.ticks = append(s.ticks, tk)
+	i := len(s.ticks) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s.ticks[i] >= s.ticks[parent] {
+			break
+		}
+		s.ticks[i], s.ticks[parent] = s.ticks[parent], s.ticks[i]
+		i = parent
+	}
+}
 
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	t := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return t
+func (s *Scheduler) popTick() int64 {
+	tk := s.ticks[0]
+	n := len(s.ticks) - 1
+	s.ticks[0] = s.ticks[n]
+	s.ticks = s.ticks[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		min := l
+		if r := l + 1; r < n && s.ticks[r] < s.ticks[l] {
+			min = r
+		}
+		if s.ticks[min] >= s.ticks[i] {
+			break
+		}
+		s.ticks[i], s.ticks[min] = s.ticks[min], s.ticks[i]
+		i = min
+	}
+	return tk
 }

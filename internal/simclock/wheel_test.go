@@ -1,0 +1,134 @@
+package simclock
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestWheelMatchesReferenceOrder drives the wheel scheduler with a
+// randomized workload — schedules far beyond the current tick, same-tick
+// bursts, exact ties, and events that schedule more events — and checks
+// the execution order against a straightforward sorted-by-(at, seq) model.
+func TestWheelMatchesReferenceOrder(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		r := rand.New(rand.NewSource(int64(trial)))
+		s := NewScheduler()
+
+		type ref struct {
+			at  Time
+			seq int
+		}
+		var want []ref
+		var got []ref
+		seq := 0
+
+		var add func(at Time, depth int)
+		add = func(at Time, depth int) {
+			seq++
+			id := seq
+			want = append(want, ref{at, id})
+			s.Post(at, func() {
+				got = append(got, ref{at, id})
+				if depth < 2 && r.Intn(3) == 0 {
+					// Events scheduling events, both same-tick and far.
+					add(s.Now()+time.Duration(r.Intn(90))*time.Minute, depth+1)
+				}
+			})
+		}
+		for i := 0; i < 200; i++ {
+			// Mix sub-tick offsets, exact duplicates, and far ticks.
+			at := time.Duration(r.Intn(96)) * 15 * time.Minute
+			add(at, 0)
+			if r.Intn(4) == 0 {
+				add(at, 0) // exact tie: must fire in scheduling order
+			}
+		}
+		s.RunAll()
+
+		sort.SliceStable(want, func(i, j int) bool {
+			if want[i].at != want[j].at {
+				return want[i].at < want[j].at
+			}
+			return want[i].seq < want[j].seq
+		})
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: executed %d events, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: event %d fired as %+v, want %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestPostIdxOrderAndArgs checks that handle-free indexed events interleave
+// correctly with Timer events and deliver their indices.
+func TestPostIdxOrderAndArgs(t *testing.T) {
+	s := NewScheduler()
+	var got []int32
+	record := func(i int32) { got = append(got, i) }
+	s.PostIdx(2*time.Hour, record, 2)
+	s.PostIdx(time.Hour, record, 1)
+	stop := s.At(90*time.Minute, func() { t.Fatal("stopped timer fired") })
+	s.PostIdx(3*time.Hour, record, 3)
+	stop.Stop()
+	if n := s.RunAll(); n != 3 {
+		t.Fatalf("executed %d events, want 3", n)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("indices fired as %v, want [1 2 3]", got)
+	}
+}
+
+// TestResetReuse checks that a Reset scheduler behaves exactly like a
+// fresh one: clock at zero, pending events discarded, ordering intact.
+func TestResetReuse(t *testing.T) {
+	s := NewScheduler()
+	fired := 0
+	s.Post(10*time.Hour, func() { fired++ })
+	s.Post(time.Hour, func() { fired++ })
+	s.Run(2 * time.Hour)
+	if fired != 1 {
+		t.Fatalf("fired %d before reset, want 1", fired)
+	}
+	s.Reset()
+	if s.Now() != 0 || s.QueueLen() != 0 || s.Pending() != 0 {
+		t.Fatalf("after Reset: now=%v queue=%d pending=%d, want zeros", s.Now(), s.QueueLen(), s.Pending())
+	}
+	// The discarded 10h event must not resurface; new events must fire in
+	// order from a zero clock.
+	var order []int
+	s.Post(30*time.Minute, func() { order = append(order, 1) })
+	s.Post(5*time.Hour, func() { order = append(order, 2) })
+	s.Run(12 * time.Hour)
+	if fired != 1 {
+		t.Fatalf("pre-reset event leaked: fired=%d", fired)
+	}
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("post-reset order %v, want [1 2]", order)
+	}
+	if s.Now() != 12*time.Hour {
+		t.Fatalf("now=%v after Run, want 12h", s.Now())
+	}
+}
+
+// TestScheduleBehindPromotedTick schedules an event for an earlier tick
+// than the already-promoted one (legal between Runs as long as it is not
+// in the past) and checks it still fires first.
+func TestScheduleBehindPromotedTick(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	s.Post(5*time.Hour+time.Minute, func() { order = append(order, 2) })
+	// Force promotion of the 5h bucket without firing it.
+	if at, ok := s.peekAt(); !ok || at != 5*time.Hour+time.Minute {
+		t.Fatalf("peek = %v %v", at, ok)
+	}
+	s.Post(time.Hour, func() { order = append(order, 1) })
+	s.RunAll()
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("order %v, want [1 2]", order)
+	}
+}

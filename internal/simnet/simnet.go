@@ -9,6 +9,7 @@ package simnet
 import (
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"repro/internal/geo"
@@ -198,6 +199,20 @@ type cellKey struct {
 type stationPool struct {
 	stations []*BaseStation
 	weights  []float64
+	// prefix holds the running sums of weights, built once after the pool
+	// stops growing, so pick is a binary search instead of a linear scan.
+	prefix []float64
+}
+
+// finalize precomputes the prefix sums. Must be called after the last
+// station is added and before any concurrent pick.
+func (p *stationPool) finalize() {
+	p.prefix = make([]float64, len(p.weights))
+	total := 0.0
+	for i, w := range p.weights {
+		total += w
+		p.prefix[i] = total
+	}
 }
 
 // Generate builds a deployment. Stations are distributed across ISPs by BS
@@ -254,6 +269,9 @@ func Generate(cfg DeploymentConfig, r *rng.Source) (*Network, error) {
 		}
 		pool.stations = append(pool.stations, bs)
 		pool.weights = append(pool.weights, bs.LoadWeight)
+	}
+	for _, pool := range n.byCell {
+		pool.finalize()
 	}
 	return n, nil
 }
@@ -397,23 +415,18 @@ func bestUnblockedRAT(bs *BaseStation, isp ISPID, at time.Duration, ov Overlay) 
 	return best
 }
 
-// pick draws a station proportionally to load weight. Linear scan over the
-// cumulative weights is avoided by sampling against the total; pools are
-// per-(ISP, region) so they stay small relative to the full deployment.
+// pick draws a station proportionally to load weight: binary search over
+// the precomputed prefix sums. The prefix array accumulates weights in the
+// same left-to-right order the old linear scan did, and the search returns
+// the first index whose running sum exceeds u, so the draw is bit-identical
+// to the scan for every RNG value.
 func (p *stationPool) pick(r *rng.Source) *BaseStation {
-	total := 0.0
-	for _, w := range p.weights {
-		total += w
+	u := r.Float64() * p.prefix[len(p.prefix)-1]
+	i := sort.Search(len(p.prefix), func(i int) bool { return p.prefix[i] > u })
+	if i >= len(p.stations) {
+		i = len(p.stations) - 1
 	}
-	u := r.Float64() * total
-	acc := 0.0
-	for i, w := range p.weights {
-		acc += w
-		if u < acc {
-			return p.stations[i]
-		}
-	}
-	return p.stations[len(p.stations)-1]
+	return p.stations[i]
 }
 
 // baseLevelWeights is the signal-level distribution by region before ISP
@@ -522,6 +535,9 @@ func FromStations(stations []*BaseStation) *Network {
 		}
 		pool.stations = append(pool.stations, bs)
 		pool.weights = append(pool.weights, bs.LoadWeight)
+	}
+	for _, pool := range n.byCell {
+		pool.finalize()
 	}
 	return n
 }

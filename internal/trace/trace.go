@@ -216,6 +216,22 @@ func (d *Dataset) AppendShard(shard int, events ...failure.Event) {
 	sh.mu.Unlock()
 }
 
+// PublishShard adds events to shard (mod NumShards) as one immutable
+// segment WITHOUT copying: the dataset takes ownership of the slice and
+// the caller must never modify it again. The fleet runner's canonical
+// merge uses this to publish contiguous views of one sorted event array,
+// so a multi-million-event dataset is materialized exactly once.
+func (d *Dataset) PublishShard(shard int, events []failure.Event) {
+	if len(events) == 0 {
+		return
+	}
+	sh := &d.shards[shard%len(d.shards)]
+	sh.mu.Lock()
+	sh.segs = append(sh.segs, events)
+	sh.n.Add(int64(len(events)))
+	sh.mu.Unlock()
+}
+
 // Len returns the number of stored events.
 func (d *Dataset) Len() int {
 	var n int64
