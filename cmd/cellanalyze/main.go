@@ -33,10 +33,12 @@ func main() {
 		patchedPath = flag.String("patched", "", "patched snapshot (for 'enhancement')")
 		csvOut      = flag.String("csv", "", "export the dataset as CSV to this path")
 		jsonlOut    = flag.String("jsonl", "", "export the dataset as JSON Lines to this path")
+		figuresOut  = flag.String("figures-json", "", "write the canonical figures JSON document to this path (\"-\" for stdout)")
+		claimsOut   = flag.String("claims-json", "", "write the claims scorecard JSON to this path (\"-\" for stdout)")
 	)
 	flag.Parse()
 	targets := flag.Args()
-	if len(targets) == 0 && *csvOut == "" && *jsonlOut == "" {
+	if len(targets) == 0 && *csvOut == "" && *jsonlOut == "" && *figuresOut == "" && *claimsOut == "" {
 		targets = []string{"all"}
 	}
 
@@ -61,7 +63,28 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *jsonlOut)
 	}
-	if len(flag.Args()) == 0 && (*csvOut != "" || *jsonlOut != "") {
+	// The canonical JSON exports share their renderer with the live
+	// /api/live endpoints: a post-drain live query and this batch export
+	// must be byte-identical (invariant I5).
+	if *figuresOut != "" {
+		b, err := pass.FiguresJSON(core.Catalogue())
+		if err != nil {
+			log.Fatalf("cellanalyze: figures-json: %v", err)
+		}
+		if err := writeOut(*figuresOut, b); err != nil {
+			log.Fatalf("cellanalyze: figures-json: %v", err)
+		}
+	}
+	if *claimsOut != "" {
+		b, err := pass.ClaimsJSON()
+		if err != nil {
+			log.Fatalf("cellanalyze: claims-json: %v", err)
+		}
+		if err := writeOut(*claimsOut, b); err != nil {
+			log.Fatalf("cellanalyze: claims-json: %v", err)
+		}
+	}
+	if len(flag.Args()) == 0 && (*csvOut != "" || *jsonlOut != "" || *figuresOut != "" || *claimsOut != "") {
 		return
 	}
 
@@ -184,6 +207,19 @@ func main() {
 			fn()
 		}
 	}
+}
+
+// writeOut writes rendered bytes to a file, or stdout for "-".
+func writeOut(path string, b []byte) error {
+	if path == "-" {
+		_, err := os.Stdout.Write(b)
+		return err
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
 }
 
 // exportTo streams a dataset export to a file.

@@ -1,12 +1,18 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"time"
 
+	"repro/internal/analysis"
+	"repro/internal/core"
 	"repro/internal/failure"
 	"repro/internal/faultinject"
 	"repro/internal/fleet"
@@ -31,6 +37,11 @@ import (
 //	    collector dataset's event multiset equals the union of what the
 //	    devices recorded — nothing lost, nothing duplicated — and is
 //	    byte-identical across worker counts.
+//	I5  streaming equals batch (upload mode): a live analysis engine fed
+//	    from the collector's admit path serves /api/live/figures while the
+//	    faulted fleet uploads, and after the drain the live figures and
+//	    claims JSON are byte-identical to a batch pass over the collected
+//	    dataset — and identical across worker counts.
 func runChaos(args []string) {
 	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
 	var (
@@ -75,8 +86,11 @@ func runChaos(args []string) {
 	// runFaulted executes the campaign, in upload mode routing every event
 	// through a fresh in-process collector so transport faults have a real
 	// TCP path to break; the result's Dataset is then the collector's copy
-	// — exactly what a production deployment would have persisted.
-	runFaulted := func(workers int) *fleet.Result {
+	// — exactly what a production deployment would have persisted. A live
+	// streaming engine rides the collector's admit path and its endpoints
+	// are queried mid-run, so invariant I5 exercises live analysis under
+	// the same transport chaos.
+	runFaulted := func(workers int) (*fleet.Result, *liveRun) {
 		faulted := scenario
 		faulted.Workers = workers
 		faulted.Faults = campaign
@@ -85,35 +99,78 @@ func runChaos(args []string) {
 			if err != nil {
 				log.Fatalf("cellcheck chaos: faulted run: %v", err)
 			}
-			return res
+			return res, nil
 		}
 		ds := trace.NewDataset()
-		col, err := trace.NewCollector("127.0.0.1:0", ds)
+		eng := analysis.NewStreaming(analysis.LiveInput(ds), analysis.StreamingOptions{})
+		defer eng.Close()
+		col, err := trace.NewCollectorWith("127.0.0.1:0", ds, trace.CollectorOptions{OnAdmit: eng.Ingest})
 		if err != nil {
 			log.Fatalf("cellcheck chaos: collector: %v", err)
 		}
 		faulted.UploadAddr = col.Addr()
-		res, err := fleet.Run(faulted)
-		col.Drain(5 * time.Second)
-		if err != nil {
-			log.Fatalf("cellcheck chaos: faulted run (workers=%d): %v", workers, err)
+
+		mux := http.NewServeMux()
+		analysis.NewLiveAPI(eng, core.Catalogue()).Routes(mux)
+		srv := httptest.NewServer(mux)
+		defer srv.Close()
+
+		live := &liveRun{}
+		done := make(chan *fleet.Result, 1)
+		go func() {
+			res, err := fleet.Run(faulted)
+			if err != nil {
+				log.Fatalf("cellcheck chaos: faulted run (workers=%d): %v", workers, err)
+			}
+			done <- res
+		}()
+		var res *fleet.Result
+		for res == nil {
+			select {
+			case res = <-done:
+			case <-time.After(5 * time.Millisecond):
+				liveFetch(srv, "/api/live/figures")
+				liveFetch(srv, "/api/live/status")
+				live.queries += 2
+			}
 		}
+		col.Drain(5 * time.Second)
 		fmt.Printf("collector (workers=%d): %d events, %d dedup hits, %d nacks, digest %s\n",
 			workers, ds.Len(), col.DedupHits(), col.Nacks(), ds.MultisetDigest())
 		res.Dataset = ds
-		return res
+
+		// Settle the streaming side with the run's final context, then
+		// capture both sides of the streaming=batch comparison.
+		if err := eng.WaitIdle(10 * time.Second); err != nil {
+			log.Fatalf("cellcheck chaos: live engine: %v", err)
+		}
+		in := analysis.FromResult(res)
+		in.Dataset = ds
+		live.resynced = eng.Sync(in)
+		live.status = eng.Status()
+		live.figures = liveFetch(srv, "/api/live/figures")
+		live.claims = liveFetch(srv, "/api/live/claims")
+		pass := analysis.NewPass(in)
+		if live.batchFigures, err = pass.FiguresJSON(core.Catalogue()); err != nil {
+			log.Fatalf("cellcheck chaos: batch figures: %v", err)
+		}
+		if live.batchClaims, err = pass.ClaimsJSON(); err != nil {
+			log.Fatalf("cellcheck chaos: batch claims: %v", err)
+		}
+		return res, live
 	}
 
-	res := runFaulted(*workers)
+	res, live := runFaulted(*workers)
 	fmt.Printf("%s\n", res.Faults)
 
 	checks := chaosInvariants(campaign, baseline, res)
 	if uploadMode {
-		res1 := res
+		res1, live1 := res, live
 		if *workers != 1 {
-			res1 = runFaulted(1)
+			res1, live1 = runFaulted(1)
 		}
 		checks = append(checks, ingestInvariants(res, res1)...)
+		checks = append(checks, streamingInvariants(live, live1)...)
 	}
 	failures := 0
 	for _, c := range checks {
@@ -136,6 +193,70 @@ type chaosCheck struct {
 	text   string
 	pass   bool
 	detail string
+}
+
+// liveRun captures one faulted upload run's live-analysis observations:
+// how many mid-run queries the live endpoints answered, the post-drain
+// streaming bytes, and the batch bytes they must equal.
+type liveRun struct {
+	queries      int
+	resynced     bool
+	status       analysis.StreamingStatus
+	figures      []byte
+	claims       []byte
+	batchFigures []byte
+	batchClaims  []byte
+}
+
+// liveFetch GETs one live endpoint, returning the body (nil on error —
+// mid-run probes are best-effort; the post-drain fetch is checked by I5).
+func liveFetch(srv *httptest.Server, path string) []byte {
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	return b
+}
+
+// streamingInvariants is invariant I5: live figures served off the admit
+// path during the chaos run must, post-drain, be byte-identical to the
+// batch renderer over the collected dataset, and identical across worker
+// counts; the mid-run queries prove the endpoints answered while uploads
+// were in flight.
+func streamingInvariants(live, live1 *liveRun) []chaosCheck {
+	degraded := ""
+	if live.status.Shed > 0 || live.resynced {
+		degraded = fmt.Sprintf(" (shed=%d resynced=%v)", live.status.Shed, live.resynced)
+	}
+	return []chaosCheck{
+		{
+			id:   "I5/streaming-batch",
+			text: "post-drain live figures and claims equal the batch renderer byte-for-byte",
+			pass: len(live.figures) > 0 && bytes.Equal(live.figures, live.batchFigures) &&
+				bytes.Equal(live.claims, live.batchClaims),
+			detail: fmt.Sprintf("live=%dB batch=%dB claims live=%dB batch=%dB events=%d%s",
+				len(live.figures), len(live.batchFigures), len(live.claims), len(live.batchClaims),
+				live.status.Events, degraded),
+		},
+		{
+			id:     "I5/live-served",
+			text:   "live endpoints answered while the fleet was still uploading",
+			pass:   live.queries > 0,
+			detail: fmt.Sprintf("mid-run queries=%d", live.queries),
+		},
+		{
+			id:   "I5/worker-independence",
+			text: "live figures are byte-identical across worker counts",
+			pass: bytes.Equal(live.figures, live1.figures) && bytes.Equal(live.claims, live1.claims),
+			detail: fmt.Sprintf("workers=N: %dB; workers=1: %dB",
+				len(live.figures), len(live1.figures)),
+		},
+	}
 }
 
 func chaosInvariants(campaign *faultinject.Campaign, baseline, res *fleet.Result) []chaosCheck {

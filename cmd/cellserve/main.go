@@ -1,17 +1,31 @@
-// Command cellserve exposes a saved fleet snapshot over HTTP: the JSON
-// query API plus a minimal dashboard page — the centralized-analysis
-// service a deployment would put in front of the collected dataset.
+// Command cellserve exposes a fleet dataset over HTTP: the JSON query
+// API, the canonical figures/claims documents, and a minimal dashboard
+// page — the centralized-analysis service a deployment would put in
+// front of the collected dataset.
 //
-// The process also exports its runtime metrics (fleet, trace, and
-// monitor families) at /metrics in Prometheus text exposition (append
-// ?format=json for the JSON dump), and -pprof additionally mounts the
-// net/http/pprof profiling handlers under /debug/pprof/.
+// Two modes:
+//
+//   - Snapshot mode (default): load a saved run, compute one fused
+//     engine pass at startup, serve the precomputed figures.
+//
+//   - Live mode (-live): start an in-process upload collector and feed
+//     the streaming analysis engine from its admit path; /api/live/*
+//     serves figures and claims that update while devices are still
+//     uploading. After the fleet drains, /api/live/figures is
+//     byte-identical to `cellanalyze -figures-json` over the collected
+//     dataset (the streaming=batch contract).
+//
+// The process also exports its runtime metrics (fleet, trace, analysis,
+// and monitor families) at /metrics in Prometheus text exposition
+// (append ?format=json for the JSON dump), and -pprof additionally
+// mounts the net/http/pprof profiling handlers under /debug/pprof/.
 //
 // Usage:
 //
 //	cellserve -in run.snap.gz -listen 127.0.0.1:8080
-//	cellserve -in run.snap.gz -pprof   # enable /debug/pprof/
+//	cellserve -live -collector 127.0.0.1:9230 -context run.snap.gz
 //	curl localhost:8080/api/stats
+//	curl localhost:8080/api/live/figures
 //	curl localhost:8080/metrics
 package main
 
@@ -21,8 +35,13 @@ import (
 	"html/template"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/core"
 	"repro/internal/failure"
 	"repro/internal/fleet"
 	"repro/internal/metrics"
@@ -48,11 +67,22 @@ var page = template.Must(template.New("index").Parse(`<!doctype html>
 func main() {
 	log.SetFlags(0)
 	var (
-		inPath    = flag.String("in", "run.snap.gz", "input snapshot")
-		listen    = flag.String("listen", "127.0.0.1:8080", "listen address")
-		withPprof = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
+		inPath      = flag.String("in", "run.snap.gz", "input snapshot")
+		listen      = flag.String("listen", "127.0.0.1:8080", "listen address")
+		withPprof   = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
+		live        = flag.Bool("live", false, "run an in-process upload collector and serve live streaming figures instead of a snapshot")
+		colListen   = flag.String("collector", "127.0.0.1:9230", "upload collector listen address (live mode)")
+		ctxPath     = flag.String("context", "", "snapshot providing population/dwell/transition context for live figures")
+		drainGrace  = flag.Duration("drain-grace", 10*time.Second, "how long in-flight uploads may finish after SIGINT/SIGTERM (live mode)")
+		liveBuckets = flag.Int("live-buckets", 0, "sliding-window bucket count (0: default 60)")
+		liveBucket  = flag.Duration("live-bucket", 0, "sliding-window bucket width in virtual time (0: default 1h)")
 	)
 	flag.Parse()
+
+	if *live {
+		runLive(*listen, *colListen, *ctxPath, *drainGrace, *liveBuckets, *liveBucket, *withPprof)
+		return
+	}
 
 	res, err := fleet.LoadResult(*inPath)
 	if err != nil {
@@ -92,6 +122,25 @@ func main() {
 	if *withPprof {
 		metrics.RegisterPprof(mux)
 	}
+
+	// Canonical figure/claims documents, rendered once at startup — the
+	// same bytes `cellanalyze -figures-json`/`-claims-json` writes.
+	figuresJSON, err := pass.FiguresJSON(core.Catalogue())
+	if err != nil {
+		log.Fatalf("cellserve: figures: %v", err)
+	}
+	claimsJSON, err := pass.ClaimsJSON()
+	if err != nil {
+		log.Fatalf("cellserve: claims: %v", err)
+	}
+	serveRaw := func(b []byte) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(b)
+		}
+	}
+	mux.HandleFunc("/api/figures", serveRaw(figuresJSON))
+	mux.HandleFunc("/api/claims", serveRaw(claimsJSON))
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
@@ -108,4 +157,63 @@ func main() {
 	})
 	fmt.Printf("cellserve on http://%s (snapshot %s: %d events)\n", *listen, *inPath, res.Dataset.Len())
 	log.Fatal(http.ListenAndServe(*listen, mux))
+}
+
+// runLive serves streaming analysis off an in-process upload collector:
+// devices (or cellsim shards with -upload) point at colAddr, and every
+// admitted batch feeds the live accumulators behind the dedup gate.
+func runLive(listen, colAddr, ctxPath string, drainGrace time.Duration, buckets int, bucket time.Duration, withPprof bool) {
+	ds := trace.NewDataset()
+	ds.ExposeSize()
+
+	in := analysis.LiveInput(ds)
+	if ctxPath != "" {
+		res, err := fleet.LoadResult(ctxPath)
+		if err != nil {
+			log.Fatalf("cellserve: context: %v", err)
+		}
+		in = analysis.FromResult(res)
+		in.Dataset = ds
+	}
+	eng := analysis.NewStreaming(in, analysis.StreamingOptions{
+		WindowBuckets: buckets,
+		WindowBucket:  bucket,
+	})
+	col, err := trace.NewCollectorWith(colAddr, ds, trace.CollectorOptions{OnAdmit: eng.Ingest})
+	if err != nil {
+		log.Fatalf("cellserve: collector: %v", err)
+	}
+
+	mux := http.NewServeMux()
+	analysis.NewLiveAPI(eng, core.Catalogue()).Routes(mux)
+	trace.NewQueryAPI(ds).Routes(mux)
+	mux.Handle("/metrics", metrics.Handler())
+	if withPprof {
+		metrics.RegisterPprof(mux)
+	}
+	srv := &http.Server{Addr: listen, Handler: mux}
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Fatalf("cellserve: http: %v", err)
+		}
+	}()
+	fmt.Printf("cellserve live on http://%s (collector %s)\n", listen, col.Addr())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	// Drain the collector first so every acked batch is stored, then
+	// settle the streaming side; the final /api/live/figures response
+	// equals a batch pass over the drained dataset.
+	if err := col.Drain(drainGrace); err != nil {
+		log.Printf("cellserve: drain: %v", err)
+	}
+	if err := eng.WaitIdle(drainGrace); err != nil {
+		log.Printf("cellserve: live: %v", err)
+	}
+	if eng.Sync(in) {
+		log.Printf("cellserve: live: resynced accumulators from dataset")
+	}
+	eng.Close()
+	srv.Close()
 }

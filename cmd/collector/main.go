@@ -6,7 +6,12 @@
 // counters, dataset size, and the fleet/monitor families when shards
 // run in-process) at /metrics in Prometheus text exposition (append
 // ?format=json for the JSON dump); -pprof additionally mounts the
-// net/http/pprof handlers under /debug/pprof/.
+// net/http/pprof handlers under /debug/pprof/. With -live, admitted
+// batches additionally feed the streaming analysis engine and the same
+// listener serves /api/live/figures, /api/live/claims, /api/live/window
+// and /api/live/status — live figures that, post-drain, are
+// byte-identical to `cellanalyze -figures-json` over the persisted
+// dataset.
 //
 // The collector speaks both wire dialects: legacy length-prefixed
 // batches (one-byte ack) and the v2 versioned frames whose acks carry
@@ -26,7 +31,9 @@
 //	collector -listen 127.0.0.1:9230 -o dataset.gob.gz
 //	collector -max-conns 512 -read-timeout 90s -drain-grace 10s
 //	collector -http 127.0.0.1:9231 -pprof
+//	collector -live -live-context run.snap.gz
 //	curl localhost:9231/metrics
+//	curl localhost:9231/api/live/figures
 package main
 
 import (
@@ -39,14 +46,15 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/metrics"
 	"repro/internal/trace"
 
-	// Blank imports register the fleet and monitor metric families, so
-	// this process's /metrics renders the full catalogue (zero-valued
-	// until shards run in-process) and dashboards stay uniform across
-	// binaries.
-	_ "repro/internal/fleet"
+	// Blank import registers the monitor metric family, so this
+	// process's /metrics renders the full catalogue (zero-valued until
+	// shards run in-process) and dashboards stay uniform across binaries.
 	_ "repro/internal/monitor"
 )
 
@@ -61,14 +69,41 @@ func main() {
 		drainGrace  = flag.Duration("drain-grace", 10*time.Second, "how long in-flight uploads may finish after SIGINT/SIGTERM")
 		httpAddr    = flag.String("http", "127.0.0.1:9231", "metrics HTTP listen address (empty to disable)")
 		withPprof   = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/ on the metrics listener")
+		live        = flag.Bool("live", false, "stream admitted events into live analysis accumulators and serve /api/live/* on the HTTP listener")
+		liveContext = flag.String("live-context", "", "snapshot whose population/dwell/transition context feeds denominator-based live figures")
+		liveBuckets = flag.Int("live-buckets", 0, "sliding-window bucket count for live analysis (0: default 60)")
+		liveBucket  = flag.Duration("live-bucket", 0, "sliding-window bucket width in virtual time (0: default 1h)")
 	)
 	flag.Parse()
 
 	ds := trace.NewDataset()
-	col, err := trace.NewCollectorWith(*listen, ds, trace.CollectorOptions{
+	opt := trace.CollectorOptions{
 		MaxConns:    *maxConns,
 		ReadTimeout: *readTimeout,
-	})
+	}
+
+	// Live mode feeds the analysis accumulators straight off the admit
+	// path: the hook enqueues the chunk into the engine's bounded queue
+	// and returns, so uploads never wait on analysis.
+	var eng *analysis.Streaming
+	liveIn := analysis.LiveInput(ds)
+	if *live {
+		if *liveContext != "" {
+			res, err := fleet.LoadResult(*liveContext)
+			if err != nil {
+				log.Fatalf("collector: live-context: %v", err)
+			}
+			liveIn = analysis.FromResult(res)
+			liveIn.Dataset = ds
+		}
+		eng = analysis.NewStreaming(liveIn, analysis.StreamingOptions{
+			WindowBuckets: *liveBuckets,
+			WindowBucket:  *liveBucket,
+		})
+		opt.OnAdmit = eng.Ingest
+	}
+
+	col, err := trace.NewCollectorWith(*listen, ds, opt)
 	if err != nil {
 		log.Fatalf("collector: %v", err)
 	}
@@ -81,6 +116,10 @@ func main() {
 		if *withPprof {
 			metrics.RegisterPprof(mux)
 		}
+		if eng != nil {
+			analysis.NewLiveAPI(eng, core.Catalogue()).Routes(mux)
+			trace.NewQueryAPI(ds).Routes(mux)
+		}
 		httpSrv = &http.Server{Addr: *httpAddr, Handler: mux}
 		go func() {
 			if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
@@ -88,6 +127,9 @@ func main() {
 			}
 		}()
 		fmt.Printf("metrics on http://%s/metrics\n", *httpAddr)
+		if eng != nil {
+			fmt.Printf("live figures on http://%s/api/live/figures\n", *httpAddr)
+		}
 	}
 
 	stop := make(chan os.Signal, 1)
@@ -118,6 +160,18 @@ func main() {
 			tick.Stop()
 			if err := col.Drain(*drainGrace); err != nil {
 				log.Printf("collector: drain: %v", err)
+			}
+			if eng != nil {
+				// Post-drain, settle the streaming side: apply queued
+				// chunks, then rebuild from the (authoritative) dataset if
+				// anything was shed — the final live figures now equal a
+				// batch pass over the persisted dataset.
+				if err := eng.WaitIdle(*drainGrace); err != nil {
+					log.Printf("collector: live: %v", err)
+				}
+				if eng.Sync(liveIn) {
+					log.Printf("collector: live: resynced accumulators from dataset")
+				}
 			}
 			persist()
 			if httpSrv != nil {

@@ -16,3 +16,22 @@ var (
 	mPassWorkers = metrics.NewGauge("analysis_pass_workers",
 		"Shard workers used by the most recent engine pass.")
 )
+
+// Live (streaming) engine metrics: the ingest-path accumulators that keep
+// figures current while the fleet is still uploading.
+var (
+	mLiveEvents = metrics.NewCounter("analysis_live_events_total",
+		"Events applied to the streaming accumulators.")
+	mLiveChunks = metrics.NewCounter("analysis_live_chunks_total",
+		"Event chunks handed off from the ingest path.")
+	mLiveShed = metrics.NewCounter("analysis_live_chunks_shed_total",
+		"Event chunks dropped because the hand-off queue was full.")
+	mLiveResyncs = metrics.NewCounter("analysis_live_resyncs_total",
+		"Full accumulator rebuilds from the authoritative dataset.")
+	mLiveQueueDepth = metrics.NewGauge("analysis_live_queue_depth",
+		"Chunks waiting in the streaming hand-off queue.")
+	mLiveLateDrops = metrics.NewCounter("analysis_live_window_late_total",
+		"Window-accumulator events older than the sliding-window floor.")
+	mLiveQueries = metrics.NewCounter("analysis_live_queries_total",
+		"Live figure/claims/window snapshot queries served.")
+)

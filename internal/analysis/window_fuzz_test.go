@@ -1,0 +1,193 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/failure"
+)
+
+// FuzzWindowAccum drives the sliding-window accumulator with arbitrary
+// arrival sequences — forward jumps, backward (late) arrivals, negative
+// starts, bucket-boundary values — against an independent map-based model
+// of the window semantics, and checks the merged P² sketch invariants on
+// every snapshot. Three bytes encode one event: a step selector, a step
+// size, and a duration.
+func FuzzWindowAccum(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0})
+	f.Add([]byte{2, 1, 10, 2, 1, 20, 7, 200, 30, 0, 90, 40})
+	f.Add([]byte{7, 255, 1, 0, 255, 2, 2, 0, 3, 2, 0, 4, 2, 0, 5})
+	seq := make([]byte, 0, 3*64)
+	for i := 0; i < 64; i++ {
+		seq = append(seq, byte(i%5), byte(i*7), byte(i))
+	}
+	f.Add(seq)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const bucketDur = time.Minute
+		n := 3
+		if len(data) > 0 {
+			n = 1 + int(data[0]%7)
+		}
+		w := newWindowAccum(n, bucketDur)
+
+		// Independent model: per absolute bucket index, the same counters
+		// the ring keeps, windowed at snapshot time by [floor, head].
+		type modelBucket struct {
+			events int64
+			byKind [failure.NumKinds]int64
+			durSum float64
+			durMax float64
+			durs   []float64
+		}
+		model := map[int64]*modelBucket{}
+		var head int64 = -1
+		var late int64
+		mFloor := func() int64 {
+			if head < 0 {
+				return 0
+			}
+			fl := head - int64(n) + 1
+			if fl < 0 {
+				fl = 0
+			}
+			return fl
+		}
+
+		check := func() {
+			t.Helper()
+			snap := w.snapshot()
+			if snap.LateDrops != late {
+				t.Fatalf("late: got %d want %d", snap.LateDrops, late)
+			}
+			var events int64
+			var durSum, durMax float64
+			var kinds [failure.NumKinds]int64
+			var minDur = math.Inf(1)
+			var samples int
+			if head >= 0 {
+				fl := mFloor()
+				if snap.FromSeconds != (time.Duration(fl) * bucketDur).Seconds() {
+					t.Fatalf("from: got %v want bucket %d", snap.FromSeconds, fl)
+				}
+				if snap.ToSeconds != (time.Duration(head+1) * bucketDur).Seconds() {
+					t.Fatalf("to: got %v want bucket %d", snap.ToSeconds, head+1)
+				}
+				// Sum in ring-slot order so the float accumulation order
+				// matches snapshot() exactly.
+				for slot := int64(0); slot < int64(n); slot++ {
+					for idx := fl; idx <= head; idx++ {
+						if idx%int64(n) != slot {
+							continue
+						}
+						b := model[idx]
+						if b == nil {
+							continue
+						}
+						events += b.events
+						durSum += b.durSum
+						if b.durMax > durMax {
+							durMax = b.durMax
+						}
+						for k, c := range b.byKind {
+							kinds[k] += c
+						}
+						samples += len(b.durs)
+						for _, d := range b.durs {
+							if d < minDur {
+								minDur = d
+							}
+						}
+					}
+				}
+			}
+			if snap.Events != events {
+				t.Fatalf("events: got %d want %d", snap.Events, events)
+			}
+			if snap.Samples != samples {
+				t.Fatalf("sketch samples: got %d want %d", snap.Samples, samples)
+			}
+			if snap.DurMax != durMax {
+				t.Fatalf("durMax: got %v want %v", snap.DurMax, durMax)
+			}
+			var kindSum int64
+			for i, kc := range snap.ByKind {
+				if kc.Count != kinds[i] {
+					t.Fatalf("kind %s: got %d want %d", kc.Kind, kc.Count, kinds[i])
+				}
+				kindSum += kc.Count
+			}
+			if kindSum != snap.Events {
+				t.Fatalf("by_kind sums to %d, events %d", kindSum, snap.Events)
+			}
+			if events > 0 {
+				if want := durSum / float64(events); snap.DurMean != want {
+					t.Fatalf("durMean: got %v want %v", snap.DurMean, want)
+				}
+				// Merged P² estimates must stay inside the observed sample
+				// range — the merge preserves the min/max extremes.
+				for _, q := range []float64{snap.DurP50, snap.DurP90, snap.DurP99} {
+					if q < minDur || q > durMax || math.IsNaN(q) {
+						t.Fatalf("quantile %v outside window sample range [%v, %v]", q, minDur, durMax)
+					}
+				}
+			}
+		}
+
+		var cur time.Duration
+		for i := 0; i+2 < len(data); i += 3 {
+			sel, size, durB := data[i], data[i+1], data[i+2]
+			step := time.Duration(size) * bucketDur / 4
+			switch sel % 5 {
+			case 0: // backward, possibly below the floor or negative
+				cur -= step * 4
+			case 1: // exact bucket-boundary landing
+				cur = (cur/bucketDur + time.Duration(size%8)) * bucketDur
+			case 2: // small forward drift
+				cur += step
+			case 3: // stay put
+			case 4: // far forward jump (staleness-invalidates slots)
+				cur += time.Duration(size) * bucketDur
+			}
+			e := failure.Event{
+				Kind:     failure.Kind(int(durB) % int(failure.NumKinds)),
+				Start:    cur,
+				Duration: time.Duration(durB) * time.Second,
+			}
+
+			// Mirror Add against the model.
+			idx := int64(0)
+			if cur > 0 {
+				idx = int64(cur / bucketDur)
+			}
+			if head >= 0 && idx < mFloor() {
+				late++
+			} else {
+				if idx > head {
+					head = idx
+				}
+				b := model[idx]
+				if b == nil {
+					b = &modelBucket{}
+					model[idx] = b
+				}
+				b.events++
+				b.byKind[e.Kind]++
+				sec := e.Duration.Seconds()
+				b.durSum += sec
+				if sec > b.durMax {
+					b.durMax = sec
+				}
+				b.durs = append(b.durs, sec)
+			}
+
+			w.Add(&e)
+			if i%15 == 0 {
+				check() // interleaved queries must not perturb state
+			}
+		}
+		check()
+	})
+}

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"errors"
+	"math"
 	"sort"
 )
 
@@ -101,6 +102,82 @@ func (p *P2) linear(i int, s float64) float64 {
 // N returns the number of observations.
 func (p *P2) N() int { return p.n }
 
+// Clone returns an independent copy of the estimator.
+func (p *P2) Clone() *P2 {
+	c := *p
+	c.initBuf = append([]float64(nil), p.initBuf...)
+	return &c
+}
+
+// Merge folds another estimator for the same quantile into p, so windowed
+// sketches can combine without either side retaining samples. The merge is
+// exact while either side is still buffering raw samples (< 5
+// observations) and approximate afterwards: extremes combine as min/max,
+// interior markers as count-weighted averages, and marker positions resume
+// from the combined count — the merged estimator keeps tracking the stream
+// with O(1) memory. Bounds are preserved: the merged estimate always lies
+// within [min, max] of the union of both streams.
+func (p *P2) Merge(o *P2) {
+	if o == nil || o.n == 0 {
+		return
+	}
+	if p.n == 0 {
+		// Merging is only defined for sketches tracking the same quantile,
+		// so an empty receiver simply adopts the other's full state.
+		*p = *o.Clone()
+		return
+	}
+	if o.n < 5 {
+		for _, x := range o.initBuf {
+			p.Add(x)
+		}
+		return
+	}
+	if p.n < 5 {
+		buf := p.initBuf
+		*p = *o.Clone()
+		for _, x := range buf {
+			p.Add(x)
+		}
+		return
+	}
+
+	n := p.n + o.n
+	wp := float64(p.n) / float64(n)
+	wo := 1 - wp
+	var h [5]float64
+	h[0] = math.Min(p.heights[0], o.heights[0])
+	h[4] = math.Max(p.heights[4], o.heights[4])
+	for i := 1; i <= 3; i++ {
+		h[i] = wp*p.heights[i] + wo*o.heights[i]
+	}
+	for i := 1; i < 5; i++ {
+		if h[i] < h[i-1] {
+			h[i] = h[i-1]
+		}
+	}
+	var pos [5]float64
+	pos[0] = 1
+	for i := 1; i <= 3; i++ {
+		pos[i] = p.pos[i] + o.pos[i]
+		if pos[i] <= pos[i-1] {
+			pos[i] = pos[i-1] + 1
+		}
+	}
+	pos[4] = float64(n)
+	if pos[4] <= pos[3] {
+		pos[4] = pos[3] + 1
+	}
+	p.n = n
+	p.heights = h
+	p.pos = pos
+	p.want = [5]float64{1, 1 + 2*p.q, 1 + 4*p.q, 3 + 2*p.q, 5}
+	for i := range p.want {
+		p.want[i] += p.inc[i] * float64(n-5)
+	}
+	p.initBuf = nil
+}
+
 // Quantile returns the current estimate. With fewer than five samples it
 // falls back to the exact small-sample quantile.
 func (p *P2) Quantile() float64 {
@@ -148,4 +225,36 @@ func (s *QuantileSet) Quantiles() []float64 {
 		out[i] = t.Quantile()
 	}
 	return out
+}
+
+// N returns the number of observations fed to the set.
+func (s *QuantileSet) N() int {
+	if len(s.trackers) == 0 {
+		return 0
+	}
+	return s.trackers[0].N()
+}
+
+// Clone returns an independent copy of the set.
+func (s *QuantileSet) Clone() *QuantileSet {
+	c := &QuantileSet{qs: append([]float64(nil), s.qs...)}
+	for _, t := range s.trackers {
+		c.trackers = append(c.trackers, t.Clone())
+	}
+	return c
+}
+
+// Merge folds another set built with the same quantiles into s (tracker by
+// tracker; see P2.Merge for the combination semantics). Sets of different
+// shapes merge pairwise over the shared prefix.
+func (s *QuantileSet) Merge(o *QuantileSet) {
+	if o == nil {
+		return
+	}
+	for i, t := range s.trackers {
+		if i >= len(o.trackers) {
+			break
+		}
+		t.Merge(o.trackers[i])
+	}
 }

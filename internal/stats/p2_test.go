@@ -116,3 +116,145 @@ func TestP2ConstantStream(t *testing.T) {
 		t.Errorf("constant stream quantile = %v, want 7", got)
 	}
 }
+
+// TestP2MergeAccuracy merges two sketches over halves of one stream and
+// requires the merged median to stay close to the exact one — the
+// windowed-analysis use case (per-bucket sketches merged at query time).
+func TestP2MergeAccuracy(t *testing.T) {
+	r := rng.New(4)
+	a, _ := NewP2(0.5)
+	b, _ := NewP2(0.5)
+	var xs []float64
+	for i := 0; i < 20000; i++ {
+		x := r.LogNormal(2, 1.2)
+		xs = append(xs, x)
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(b)
+	if a.N() != 20000 {
+		t.Fatalf("merged N = %d, want 20000", a.N())
+	}
+	exact := NewECDF(xs).Quantile(0.5)
+	got := a.Quantile()
+	if rel := math.Abs(got-exact) / exact; rel > 0.10 {
+		t.Errorf("merged median = %v, exact = %v (rel err %.3f)", got, exact, rel)
+	}
+	// The merged sketch must keep accepting observations.
+	for i := 0; i < 1000; i++ {
+		a.Add(r.LogNormal(2, 1.2))
+	}
+	if a.N() != 21000 {
+		t.Fatalf("post-merge N = %d, want 21000", a.N())
+	}
+}
+
+// TestP2MergeSmallSides pins the exact small-sample paths: empty receiver,
+// empty other, and either side still buffering raw samples.
+func TestP2MergeSmallSides(t *testing.T) {
+	mk := func(xs ...float64) *P2 {
+		p, _ := NewP2(0.5)
+		for _, x := range xs {
+			p.Add(x)
+		}
+		return p
+	}
+	// Empty other: no-op.
+	p := mk(1, 2, 3)
+	p.Merge(mk())
+	if p.N() != 3 || p.Quantile() != 2 {
+		t.Fatalf("merge with empty: N=%d q=%v", p.N(), p.Quantile())
+	}
+	// Empty receiver adopts the other.
+	p = mk()
+	p.Merge(mk(5, 6, 7))
+	if p.N() != 3 || p.Quantile() != 6 {
+		t.Fatalf("empty receiver: N=%d q=%v", p.N(), p.Quantile())
+	}
+	// Both small: exact union median.
+	p = mk(1, 2)
+	p.Merge(mk(3, 4, 100))
+	if p.N() != 5 || p.Quantile() != 3 {
+		t.Fatalf("both small: N=%d q=%v, want 5/3", p.N(), p.Quantile())
+	}
+	// Small receiver, initialized other.
+	big := mk()
+	for i := 1; i <= 100; i++ {
+		big.Add(float64(i))
+	}
+	p = mk(50, 50, 50)
+	p.Merge(big)
+	if p.N() != 103 {
+		t.Fatalf("small+big N = %d, want 103", p.N())
+	}
+	if q := p.Quantile(); q < 1 || q > 100 {
+		t.Fatalf("small+big median %v outside data range", q)
+	}
+}
+
+// TestP2MergeBounds fuzz-lite: merged estimates must stay inside the union
+// min/max for adversarially different distributions.
+func TestP2MergeBounds(t *testing.T) {
+	r := rng.New(5)
+	for trial := 0; trial < 50; trial++ {
+		a, _ := NewP2(0.9)
+		b, _ := NewP2(0.9)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		add := func(p *P2, x float64) {
+			p.Add(x)
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		na, nb := 5+int(r.Float64()*200), 5+int(r.Float64()*200)
+		for i := 0; i < na; i++ {
+			add(a, r.Float64()*1000)
+		}
+		for i := 0; i < nb; i++ {
+			add(b, -500+r.Float64()*10)
+		}
+		a.Merge(b)
+		if got := a.Quantile(); got < lo || got > hi {
+			t.Fatalf("trial %d: merged quantile %v outside [%v, %v]", trial, got, lo, hi)
+		}
+		if a.N() != na+nb {
+			t.Fatalf("trial %d: N = %d, want %d", trial, a.N(), na+nb)
+		}
+	}
+}
+
+// TestQuantileSetCloneMerge checks set-level clone independence and merge.
+func TestQuantileSetCloneMerge(t *testing.T) {
+	s, _ := NewQuantileSet(0.5, 0.9, 0.99)
+	r := rng.New(6)
+	for i := 0; i < 1000; i++ {
+		s.Add(r.Float64() * 10)
+	}
+	c := s.Clone()
+	before := append([]float64(nil), s.Quantiles()...)
+	for i := 0; i < 1000; i++ {
+		c.Add(1e6)
+	}
+	after := s.Quantiles()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("clone not independent: quantile %d changed %v -> %v", i, before[i], after[i])
+		}
+	}
+	o, _ := NewQuantileSet(0.5, 0.9, 0.99)
+	for i := 0; i < 1000; i++ {
+		o.Add(100 + r.Float64())
+	}
+	s.Merge(o)
+	if s.N() != 2000 {
+		t.Fatalf("merged set N = %d, want 2000", s.N())
+	}
+	qs := s.Quantiles()
+	for i, q := range qs {
+		if math.IsNaN(q) || q < 0 || q > 101 {
+			t.Fatalf("merged quantile %d = %v outside union range", i, q)
+		}
+	}
+}

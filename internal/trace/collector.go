@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/failure"
 	"repro/internal/stats"
 )
 
@@ -28,6 +29,14 @@ type CollectorOptions struct {
 	// RetryAfter is the backoff floor suggested in shed nacks.
 	// <= 0 uses 500ms.
 	RetryAfter time.Duration
+	// OnAdmit, when set, observes every batch that passes the dedup gate,
+	// immediately after its events are appended to the dataset. It sees
+	// exactly the admitted multiset — duplicate deliveries never reach it —
+	// so a streaming consumer stays equal to the stored dataset. The slice
+	// is freshly decoded per frame and ownership transfers to the hook.
+	// The hook runs on the serve goroutine: it must not block (hand off to
+	// a queue and return).
+	OnAdmit func(events []failure.Event)
 }
 
 func (o CollectorOptions) withDefaults() CollectorOptions {
@@ -297,6 +306,9 @@ func (c *Collector) serve(conn net.Conn) {
 			mColBatches.Inc()
 			mColEvents.Add(int64(len(b.Events)))
 			mDatasetEvents.Set(float64(c.ds.Len()))
+			if c.opt.OnAdmit != nil {
+				c.opt.OnAdmit(b.Events)
+			}
 		}
 		mColRxBytes.Add(int64(wire))
 		// Acknowledge once the batch is durably in the dataset (or known

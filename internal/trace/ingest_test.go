@@ -499,3 +499,78 @@ func TestStreamTruncatedFinalChunk(t *testing.T) {
 		t.Errorf("error not sticky: %v then %v", err, err2)
 	}
 }
+
+// TestOnAdmitSeesExactlyTheAdmittedMultiset pins the admit-hook contract
+// the live analysis engine builds on: the hook fires once per freshly
+// admitted batch — behind the dedup gate, so a retried duplicate never
+// reaches it — and the union of hook deliveries is exactly the stored
+// multiset. Legacy-dialect batches (always fresh) reach the hook too.
+func TestOnAdmitSeesExactlyTheAdmittedMultiset(t *testing.T) {
+	ds := NewDataset()
+	seen := NewDataset()
+	var mu sync.Mutex
+	var calls int
+	col, err := NewCollectorWith("127.0.0.1:0", ds, CollectorOptions{
+		OnAdmit: func(events []failure.Event) {
+			mu.Lock()
+			defer mu.Unlock()
+			calls++
+			seen.Append(events...)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+
+	// A lost ack forces a real duplicate delivery on the wire.
+	up := NewUploader(col.Addr(), 7)
+	up.SetChaos(&scriptedChaos{faults: []UploadFaultClass{FaultAckLoss}})
+	up.SetWiFi(true)
+	up.FlushThreshold = 100
+	for _, e := range sampleEvents(10) {
+		up.Record(e)
+	}
+	if err := up.Flush(); !errors.Is(err, ErrAckLost) {
+		t.Fatalf("Flush error = %v, want ErrAckLost", err)
+	}
+	waitFor(t, func() bool { return ds.Len() == 10 })
+	if err := up.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if col.DedupHits() != 1 {
+		t.Fatalf("DedupHits = %d, want 1 (the retry must have been deduped)", col.DedupHits())
+	}
+	mu.Lock()
+	if calls != 1 {
+		t.Errorf("OnAdmit calls = %d, want 1 — the deduped retry must not reach the hook", calls)
+	}
+	if got, want := seen.MultisetDigest(), ds.MultisetDigest(); got != want {
+		t.Errorf("hook multiset %s != stored multiset %s", got, want)
+	}
+	mu.Unlock()
+
+	// Legacy dialect: no sequence number, always admitted, hook fires.
+	conn, err := net.Dial("tcp", col.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := WriteBatch(conn, &Batch{DeviceID: 2, Events: sampleEvents(4)}); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	var ack [1]byte
+	if _, err := io.ReadFull(conn, ack[:]); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return ds.Len() == 14 })
+	mu.Lock()
+	defer mu.Unlock()
+	if calls != 2 {
+		t.Errorf("OnAdmit calls = %d after legacy batch, want 2", calls)
+	}
+	if got, want := seen.MultisetDigest(), ds.MultisetDigest(); got != want {
+		t.Errorf("hook multiset %s != stored multiset %s after legacy batch", got, want)
+	}
+}
