@@ -51,14 +51,16 @@ func runChaos(args []string) {
 		months  = fs.Float64("months", 4, "measurement window in months")
 		faults  = fs.String("faults", "", "JSON fault-campaign file (default: the bundled BS-blackout campaign, or the bundled network campaign with -network)")
 		network = fs.Bool("network", false, "upload events through an in-process collector under transport faults and check the exactly-once invariant I4")
+		dialect = fs.String("dialect", "", "upload-mode wire dialect: v3 (default, binary codec) or v2 (gob frames)")
 	)
 	_ = fs.Parse(args)
 
 	scenario := fleet.Scenario{
-		Seed:       *seed,
-		NumDevices: *devices,
-		Workers:    *workers,
-		Window:     time.Duration(*months * 30 * 24 * float64(time.Hour)),
+		Seed:          *seed,
+		NumDevices:    *devices,
+		Workers:       *workers,
+		Window:        time.Duration(*months * 30 * 24 * float64(time.Hour)),
+		UploadDialect: *dialect,
 	}
 
 	var campaign *faultinject.Campaign

@@ -13,12 +13,16 @@
 // byte-identical to `cellanalyze -figures-json` over the persisted
 // dataset.
 //
-// The collector speaks both wire dialects: legacy length-prefixed
-// batches (one-byte ack) and the v2 versioned frames whose acks carry
-// the batch sequence number, with per-device dedup making retried
-// uploads idempotent. -max-conns bounds concurrent uploads (excess
-// connections are shed with a nack carrying a retry-after hint) and
-// -read-timeout reclaims connections from silent devices.
+// The collector speaks all three wire dialects, distinguished by the
+// frame's first byte: legacy length-prefixed gob batches (one-byte
+// ack), v2 versioned gob frames, and the v3 binary codec (varints,
+// per-frame intern tables, optional gzip) — v2 and v3 acks carry the
+// batch sequence number, with per-device dedup making retried uploads
+// idempotent. Admission is sharded by device (-admit-shards) so
+// concurrent connections do not serialize on one dedup lock.
+// -max-conns bounds concurrent uploads (excess connections are shed
+// with a nack carrying a retry-after hint) and -read-timeout reclaims
+// connections from silent devices.
 //
 // On SIGINT/SIGTERM the collector shuts down cleanly: the persist
 // ticker stops, the TCP listener closes, and in-flight uploads get
@@ -65,6 +69,7 @@ func main() {
 		out         = flag.String("o", "dataset.gob.gz", "dataset output path")
 		interval    = flag.Duration("flush", 30*time.Second, "persist interval")
 		maxConns    = flag.Int("max-conns", 0, "max concurrently served upload connections; excess is shed with a retry-after nack (0: default 256)")
+		admitShards = flag.Int("admit-shards", 0, "device-keyed admit shards (dedup map, byte accounting, latency sketch); 0: default")
 		readTimeout = flag.Duration("read-timeout", 0, "per-read idle deadline on upload connections (0: default 2m)")
 		drainGrace  = flag.Duration("drain-grace", 10*time.Second, "how long in-flight uploads may finish after SIGINT/SIGTERM")
 		httpAddr    = flag.String("http", "127.0.0.1:9231", "metrics HTTP listen address (empty to disable)")
@@ -80,6 +85,7 @@ func main() {
 	opt := trace.CollectorOptions{
 		MaxConns:    *maxConns,
 		ReadTimeout: *readTimeout,
+		AdmitShards: *admitShards,
 	}
 
 	// Live mode feeds the analysis accumulators straight off the admit

@@ -169,7 +169,12 @@ type shardIO struct {
 // allocation-free and shard determinism is untouched.
 func (sio *shardIO) setup(s *Scenario, state *shardState, inj *faultinject.Injector, lo int, out *shardOut) error {
 	if s.UploadAddr != "" {
+		dialect, err := trace.ParseDialect(s.UploadDialect)
+		if err != nil {
+			return fmt.Errorf("fleet: %w", err)
+		}
 		sio.uploader = trace.NewUploader(s.UploadAddr, uint64(lo))
+		sio.uploader.Dialect = dialect
 		// Short, seeded backoff: the collector is local, so retries are
 		// cheap; the jitter stream is split per shard so retry timing never
 		// couples shards (and cannot perturb the simulation, which runs on

@@ -69,6 +69,10 @@ type Scenario struct {
 	// trace.Collector at this address over TCP instead of appending to
 	// the in-memory dataset directly.
 	UploadAddr string
+	// UploadDialect selects the wire encoding shard uploaders speak:
+	// "v3" (default, the binary codec) or "v2" (sequenced gob frames,
+	// kept for mixed-fleet rollouts and as the benchmark baseline).
+	UploadDialect string
 	// UploadBufferLimit caps each shard uploader's in-memory backlog
 	// (events); past it the backlog spills to UploadSpillDir, or sheds
 	// oldest-first if no spill dir is set. 0 means unbounded.

@@ -1,0 +1,355 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/android"
+	"repro/internal/failure"
+	"repro/internal/simnet"
+	"repro/internal/telephony"
+)
+
+// ingestBatch builds one realistic upload batch: n events from a single
+// device camped on a handful of cells with a stable APN — the repetitive
+// in-situ context the v3 string/cell tables intern. Roughly a quarter of
+// events carry stall-recovery fields and a tenth a RAT transition,
+// matching the optional-field density the paper's traces show.
+func ingestBatch(device uint64, seq uint64, n int) *Batch {
+	cells := []telephony.CellIdentity{
+		{MCC: 460, MNC: 0, LAC: 4301, CID: 190211},
+		{MCC: 460, MNC: 0, LAC: 4301, CID: 190217},
+		{MCC: 460, MNC: 0, LAC: 4308, CID: 220833},
+	}
+	events := make([]failure.Event, n)
+	for i := range events {
+		events[i] = failure.Event{
+			Kind:           failure.Kind(i % 3),
+			DeviceID:       device,
+			ModelID:        int(device % 34),
+			AndroidVersion: 9 + int(device%2),
+			FiveGCapable:   device%4 == 0,
+			ISP:            simnet.ISPID(device % 3),
+			Cell:           cells[i%len(cells)],
+			DenseBS:        i%7 == 0,
+			RAT:            telephony.RAT4G,
+			Level:          telephony.SignalLevel(i % 6),
+			APN:            "default",
+			Cause:          telephony.CauseSignalLost,
+			Start:          time.Duration(int(seq)*n+i) * time.Second,
+			Duration:       time.Duration(10+i%300) * time.Second,
+		}
+		if i%4 == 1 {
+			events[i].Kind = failure.DataStall
+			events[i].ResolvedBy = android.ResolvedBy(1 + i%3)
+			events[i].OpsExecuted = 1 + i%4
+			events[i].AutoFixTime = time.Duration(i%90) * time.Second
+		}
+		if i%10 == 3 {
+			events[i].Transition = &failure.TransitionInfo{
+				FromRAT: telephony.RAT4G, ToRAT: telephony.RAT3G,
+				FromLevel: telephony.Level3, ToLevel: telephony.Level1,
+			}
+		}
+	}
+	return &Batch{DeviceID: device, Seq: seq, Events: events}
+}
+
+// encodeFrame produces one wire frame for b in the dialect.
+func encodeFrame(tb testing.TB, b *Batch, d Dialect) []byte {
+	tb.Helper()
+	frame, err := appendBatchFrame(nil, b, d)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return frame
+}
+
+// BenchmarkIngest is the wire-path benchmark family (see README "Ingest
+// benchmark"): batch encode, batch decode, and end-to-end upload→admit
+// through a live in-process collector at 8 connections, each measured
+// for the gob (v2) dialect and the binary v3 codec in the same binary —
+// so the v3-vs-gob ratio is hardware-independent.
+func BenchmarkIngest(b *testing.B) {
+	batch := ingestBatch(7, 1, 512)
+	for _, d := range []Dialect{DialectV2, DialectV3} {
+		b.Run("encode-"+d.String(), func(b *testing.B) {
+			var frame []byte
+			var err error
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				frame, err = appendBatchFrame(frame[:0], batch, d)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(len(frame)))
+			b.ReportMetric(float64(len(batch.Events))*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+		})
+		b.Run("decode-"+d.String(), func(b *testing.B) {
+			frame := encodeFrame(b, batch, d)
+			rd := bytes.NewReader(frame)
+			br := bufio.NewReader(rd)
+			b.ReportAllocs()
+			b.SetBytes(int64(len(frame)))
+			for i := 0; i < b.N; i++ {
+				rd.Reset(frame)
+				br.Reset(rd)
+				out, _, _, err := ReadBatchAny(br)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(out.Events) != len(batch.Events) {
+					b.Fatal("short decode")
+				}
+			}
+			b.ReportMetric(float64(len(batch.Events))*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+		})
+		b.Run("e2e-"+d.String(), func(b *testing.B) {
+			var ingest time.Duration
+			events := 0
+			for i := 0; i < b.N; i++ {
+				el, n, _ := runIngestE2E(b, d, 8, 16, 256)
+				ingest += el
+				events += n
+			}
+			b.ReportMetric(float64(events)/ingest.Seconds(), "events/s")
+		})
+	}
+}
+
+// runIngestE2E drives conns concurrent uploaders, each sending batches
+// sequenced batches of eventsPer events through a live collector with
+// sharded admit. The clock covers upload through admit only — fixture
+// events are pre-built and the digest is computed after Drain returns —
+// so the elapsed time isolates the wire path the dialect controls.
+func runIngestE2E(tb testing.TB, d Dialect, conns, batches, eventsPer int) (time.Duration, int, Digest) {
+	tb.Helper()
+	ds := NewDataset()
+	col, err := NewCollector("127.0.0.1:0", ds)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	fixtures := make([][]failure.Event, conns)
+	for c := range fixtures {
+		events := make([]failure.Event, 0, batches*eventsPer)
+		for s := 1; s <= batches; s++ {
+			events = append(events, ingestBatch(uint64(c+1), uint64(s), eventsPer).Events...)
+		}
+		fixtures[c] = events
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < conns; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			up := NewUploader(col.Addr(), uint64(c+1))
+			up.Dialect = d
+			up.FlushThreshold = eventsPer
+			up.SetWiFi(true)
+			for _, e := range fixtures[c] {
+				up.Record(e)
+			}
+			if err := up.Flush(); err != nil {
+				tb.Errorf("uploader %d: %v", c, err)
+			}
+			up.Close()
+		}(c)
+	}
+	wg.Wait()
+	if err := col.Drain(time.Second); err != nil {
+		tb.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	return elapsed, ds.Len(), ds.MultisetDigest()
+}
+
+// ingestBenchEntry is one BENCH_ingest.json record. The *Speedup fields
+// compare the v3 codec against the gob dialect in the same binary, so
+// the ratios survive hardware changes even though absolute numbers
+// do not.
+type ingestBenchEntry struct {
+	Date          string  `json:"date"`
+	GoVersion     string  `json:"go_version"`
+	GOMAXPROCS    int     `json:"gomaxprocs"`
+	BatchEvents   int     `json:"batch_events"`
+	GobEncDecNsEv float64 `json:"gob_encdec_ns_per_event"`
+	V3EncDecNsEv  float64 `json:"v3_encdec_ns_per_event"`
+	EncDecSpeedup float64 `json:"encdec_speedup"`
+	GobWireBytes  int     `json:"gob_wire_bytes"`
+	V3WireBytes   int     `json:"v3_wire_bytes"`
+	E2EConns      int     `json:"e2e_conns"`
+	E2EBatches    int     `json:"e2e_batches_per_conn"`
+	GobE2EEventsS float64 `json:"gob_e2e_events_per_s"`
+	V3E2EEventsS  float64 `json:"v3_e2e_events_per_s"`
+	E2ESpeedup    float64 `json:"e2e_speedup"`
+}
+
+// TestWriteIngestBenchArtifact measures the gob dialect against the v3
+// codec — batch encode+decode, then end-to-end upload→admit at 8
+// concurrent connections — and appends the result to the JSON file named
+// by BENCH_INGEST_OUT. It is skipped in normal test runs; CI's
+// ingest-bench job and the recorded BENCH_ingest.json entries come from
+// here.
+//
+// When BENCH_INGEST_BASELINE names a committed artifact, the test FAILS
+// if either measured v3-vs-gob speedup falls below 85% of the baseline's
+// most recent entry for the same configuration — the CI regression gate.
+// The two e2e arms also cross-check: identical event counts and
+// identical stored multiset digests (the codec is only a valid
+// optimization while the admitted events are equal).
+func TestWriteIngestBenchArtifact(t *testing.T) {
+	out := os.Getenv("BENCH_INGEST_OUT")
+	if out == "" {
+		t.Skip("set BENCH_INGEST_OUT to record a benchmark artifact")
+	}
+	date := os.Getenv("BENCH_INGEST_DATE") // keep artifacts reproducible in CI
+
+	batchEvents := envIntT(t, "BENCH_INGEST_EVENTS", 512)
+	reps := envIntT(t, "BENCH_INGEST_REPS", 400)
+	conns := envIntT(t, "BENCH_INGEST_CONNS", 8)
+	batches := envIntT(t, "BENCH_INGEST_BATCHES", 24)
+
+	batch := ingestBatch(7, 1, batchEvents)
+
+	// Encode+decode: one warm pass, then reps timed round trips per
+	// dialect. ns/event over (encode + decode) is the codec figure.
+	encdec := func(d Dialect) (nsPerEvent float64, wireBytes int) {
+		frame := encodeFrame(t, batch, d)
+		rd := bytes.NewReader(frame)
+		br := bufio.NewReader(rd)
+		start := time.Now()
+		var err error
+		for i := 0; i < reps; i++ {
+			frame, err = appendBatchFrame(frame[:0], batch, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rd.Reset(frame)
+			br.Reset(rd)
+			out, _, _, err := ReadBatchAny(br)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(out.Events) != batchEvents {
+				t.Fatal("short decode")
+			}
+		}
+		sec := time.Since(start).Seconds()
+		return sec * 1e9 / float64(reps*batchEvents), len(frame)
+	}
+	gobNs, gobWire := encdec(DialectV2)
+	v3Ns, v3Wire := encdec(DialectV3)
+
+	// End to end: same fleet shape on both dialects, digests must match.
+	e2e := func(d Dialect) (eventsPerSec float64, n int, dig Digest) {
+		el, n, dig := runIngestE2E(t, d, conns, batches, batchEvents)
+		return float64(n) / el.Seconds(), n, dig
+	}
+	gobRate, gobN, gobDig := e2e(DialectV2)
+	v3Rate, v3N, v3Dig := e2e(DialectV3)
+	if gobN != v3N || gobDig != v3Dig {
+		t.Fatalf("e2e arms diverge: %d vs %d events, digests equal=%v",
+			gobN, v3N, gobDig == v3Dig)
+	}
+	if want := conns * batches * batchEvents; gobN != want {
+		t.Fatalf("e2e admitted %d events, want %d", gobN, want)
+	}
+
+	entry := ingestBenchEntry{
+		Date:          date,
+		GoVersion:     runtime.Version(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		BatchEvents:   batchEvents,
+		GobEncDecNsEv: gobNs,
+		V3EncDecNsEv:  v3Ns,
+		EncDecSpeedup: gobNs / v3Ns,
+		GobWireBytes:  gobWire,
+		V3WireBytes:   v3Wire,
+		E2EConns:      conns,
+		E2EBatches:    batches,
+		GobE2EEventsS: gobRate,
+		V3E2EEventsS:  v3Rate,
+		E2ESpeedup:    v3Rate / gobRate,
+	}
+
+	if baseline := os.Getenv("BENCH_INGEST_BASELINE"); baseline != "" {
+		gateIngestBench(t, baseline, entry)
+	}
+
+	var entries []ingestBenchEntry
+	if raw, err := os.ReadFile(out); err == nil {
+		if err := json.Unmarshal(raw, &entries); err != nil {
+			t.Fatalf("existing %s is not an ingestBenchEntry list: %v", out, err)
+		}
+	}
+	entries = append(entries, entry)
+	raw, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(raw, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("ingest %d-event batches: encdec gob %.0fns/ev v3 %.0fns/ev (%.2fx), e2e@%d gob %.0f ev/s v3 %.0f ev/s (%.2fx) -> %s\n",
+		batchEvents, gobNs, v3Ns, entry.EncDecSpeedup, conns, gobRate, v3Rate, entry.E2ESpeedup, out)
+}
+
+// gateIngestBench fails the test if either v3-vs-gob speedup regressed
+// more than 15% below the baseline artifact's most recent entry for the
+// same configuration. Speedup ratios — not absolute throughput —
+// normalize away the hardware difference between the committing machine
+// and the gating machine.
+func gateIngestBench(t *testing.T, path string, entry ingestBenchEntry) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read baseline %s: %v", path, err)
+	}
+	var entries []ingestBenchEntry
+	if err := json.Unmarshal(raw, &entries); err != nil {
+		t.Fatalf("baseline %s is not an ingestBenchEntry list: %v", path, err)
+	}
+	base := ingestBenchEntry{}
+	for _, e := range entries {
+		if e.BatchEvents == entry.BatchEvents && e.E2EConns == entry.E2EConns && e.EncDecSpeedup > 0 {
+			base = e // last matching entry wins: the most recent recording
+		}
+	}
+	if base.EncDecSpeedup == 0 {
+		t.Logf("baseline %s has no entry for %d-event batches at %d conns; gate skipped",
+			path, entry.BatchEvents, entry.E2EConns)
+		return
+	}
+	const tolerance = 0.85
+	if entry.EncDecSpeedup < base.EncDecSpeedup*tolerance {
+		t.Fatalf("ingest bench regression: encode+decode speedup %.2fx is below 85%% of the %s baseline %.2fx",
+			entry.EncDecSpeedup, base.Date, base.EncDecSpeedup)
+	}
+	if entry.E2ESpeedup < base.E2ESpeedup*tolerance {
+		t.Fatalf("ingest bench regression: e2e speedup %.2fx is below 85%% of the %s baseline %.2fx",
+			entry.E2ESpeedup, base.Date, base.E2ESpeedup)
+	}
+	t.Logf("ingest bench gate: encdec %.2fx vs baseline %.2fx, e2e %.2fx vs %.2fx (floor 85%%)",
+		entry.EncDecSpeedup, base.EncDecSpeedup, entry.E2ESpeedup, base.E2ESpeedup)
+}
+
+func envIntT(t *testing.T, name string, def int) int {
+	v := os.Getenv(name)
+	if v == "" {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n <= 0 {
+		t.Fatalf("%s=%q: want a positive integer", name, v)
+	}
+	return n
+}

@@ -37,6 +37,11 @@ type CollectorOptions struct {
 	// The hook runs on the serve goroutine: it must not block (hand off to
 	// a queue and return).
 	OnAdmit func(events []failure.Event)
+	// AdmitShards is the number of independent admit shards. Dedup marks,
+	// batch/byte accounting, and quantile sketches are partitioned by
+	// DeviceID across shards, so concurrent connections admit without
+	// contending on one mutex. <= 0 uses 16 (matching DefaultShards).
+	AdmitShards int
 }
 
 func (o CollectorOptions) withDefaults() CollectorOptions {
@@ -49,6 +54,9 @@ func (o CollectorOptions) withDefaults() CollectorOptions {
 	if o.RetryAfter <= 0 {
 		o.RetryAfter = 500 * time.Millisecond
 	}
+	if o.AdmitShards <= 0 {
+		o.AdmitShards = DefaultShards
+	}
 	return o
 }
 
@@ -57,28 +65,46 @@ func (o CollectorOptions) withDefaults() CollectorOptions {
 // P² sketches, so operational dashboards get p50/p90/p99 without the
 // backend retaining samples.
 //
-// Ingestion is at-least-once and duplicate-free: v2 batches carry
+// Ingestion is at-least-once and duplicate-free: sequenced batches carry
 // (DeviceID, Seq) and the collector remembers, per device, the highest
 // acknowledged sequence number. A batch re-sent after a lost ack is
 // acknowledged again without re-appending, so retries never skew the
 // dataset (see the wire-protocol comment in wire.go).
+//
+// The admit path is sharded by DeviceID: dedup marks, accounting, and
+// quantile sketches live in opt.AdmitShards independent shards, and the
+// dataset append is pinned to the batch's DeviceID shard, so concurrent
+// connections admit in parallel. A device always lands on the same
+// shard, which preserves the per-device dedup ordering — and therefore
+// the admitted-multiset contract OnAdmit consumers rely on (I5).
 type Collector struct {
 	ln  net.Listener
 	ds  *Dataset
 	opt CollectorOptions
 
+	// mu guards connection lifecycle only; admit-path state is sharded.
 	mu         sync.Mutex
 	conns      map[net.Conn]struct{}
-	batches    int
-	rxBytes    int64
-	dedupHits  int64
 	nacks      int64
-	lastSeq    map[uint64]uint64 // per-device acked high-water mark
 	closed     bool
 	draining   bool
 	drainUntil time.Time
-	quantiles  *stats.QuantileSet
-	wg         sync.WaitGroup
+
+	shards []collectorShard
+	wg     sync.WaitGroup
+}
+
+// collectorShard is one DeviceID-partition of the admit path. Each shard
+// has its own mutex, so the only cross-connection contention is between
+// devices that hash to the same shard.
+type collectorShard struct {
+	mu        sync.Mutex
+	lastSeq   map[uint64]uint64 // per-device acked high-water mark
+	batches   int
+	rxBytes   int64
+	dedupHits int64
+	quantiles *stats.QuantileSet
+	_         [32]byte // pad to keep hot shard state off shared cache lines
 }
 
 // NewCollector starts a collector on addr (e.g. "127.0.0.1:0") feeding ds
@@ -96,40 +122,62 @@ func NewCollectorWith(addr string, ds *Dataset, opt CollectorOptions) (*Collecto
 	if err != nil {
 		return nil, err
 	}
-	qs, err := stats.NewQuantileSet(0.5, 0.9, 0.99)
-	if err != nil {
-		ln.Close()
-		return nil, err
-	}
+	opt = opt.withDefaults()
 	c := &Collector{
-		ln:        ln,
-		ds:        ds,
-		opt:       opt.withDefaults(),
-		conns:     make(map[net.Conn]struct{}),
-		lastSeq:   make(map[uint64]uint64),
-		quantiles: qs,
+		ln:     ln,
+		ds:     ds,
+		opt:    opt,
+		conns:  make(map[net.Conn]struct{}),
+		shards: make([]collectorShard, opt.AdmitShards),
+	}
+	for i := range c.shards {
+		qs, err := stats.NewQuantileSet(0.5, 0.9, 0.99)
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		c.shards[i].lastSeq = make(map[uint64]uint64)
+		c.shards[i].quantiles = qs
 	}
 	c.wg.Add(1)
 	go c.acceptLoop()
 	return c, nil
 }
 
+// shardFor returns the admit shard owning device. All of a device's
+// batches — and therefore all of its sequence numbers — route to the
+// same shard, so per-device dedup needs no cross-shard coordination.
+func (c *Collector) shardFor(device uint64) *collectorShard {
+	return &c.shards[device%uint64(len(c.shards))]
+}
+
 // Addr returns the collector's listen address.
 func (c *Collector) Addr() string { return c.ln.Addr().String() }
 
-// Stats returns the number of batches and wire bytes received.
+// Stats returns the number of batches and wire bytes received, summed
+// across admit shards.
 func (c *Collector) Stats() (batches int, rxBytes int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.batches, c.rxBytes
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		batches += sh.batches
+		rxBytes += sh.rxBytes
+		sh.mu.Unlock()
+	}
+	return batches, rxBytes
 }
 
 // DedupHits returns how many re-sent batches were acknowledged without
 // being re-appended.
 func (c *Collector) DedupHits() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.dedupHits
+	var n int64
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += sh.dedupHits
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // Nacks returns how many connections were shed with a nack reply.
@@ -140,11 +188,22 @@ func (c *Collector) Nacks() int64 {
 }
 
 // DurationQuantiles returns the streaming p50/p90/p99 of received failure
-// durations, in seconds.
+// durations, in seconds. Per-shard P² sketches are merged at query time
+// (count-weighted), so the admit path never shares a sketch across
+// connections.
 func (c *Collector) DurationQuantiles() (p50, p90, p99 float64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	qs := c.quantiles.Quantiles()
+	c.shards[0].mu.Lock()
+	merged := c.shards[0].quantiles.Clone()
+	c.shards[0].mu.Unlock()
+	for i := 1; i < len(c.shards); i++ {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		if sh.quantiles.N() > 0 {
+			merged.Merge(sh.quantiles)
+		}
+		sh.mu.Unlock()
+	}
+	qs := merged.Quantiles()
 	return qs[0], qs[1], qs[2]
 }
 
@@ -275,8 +334,7 @@ func (c *Collector) serve(conn net.Conn) {
 	br := bufio.NewReader(conn)
 	for {
 		c.armDeadline(conn)
-		first, err := br.Peek(1)
-		if err != nil {
+		if _, err := br.Peek(1); err != nil {
 			// Clean EOF, idle timeout, or drain deadline at a frame
 			// boundary: nothing in flight, nothing lost. Anything else
 			// (e.g. a force-close with unread bytes) counts as a drop.
@@ -286,23 +344,20 @@ func (c *Collector) serve(conn net.Conn) {
 			}
 			return
 		}
-		versioned := first[0] == versionV2
-		if versioned {
-			br.ReadByte()
-		}
-		b, wire, err := ReadBatch(br)
+		b, wire, dialect, err := ReadBatchAny(br)
 		if err != nil {
 			// Malformed or truncated stream: drop the connection. The
 			// batch was never stored, so the device's retry is safe.
 			mColDropped.Inc()
 			return
 		}
-		if versioned {
-			wire++ // account the version byte
-		}
+		versioned := dialect != DialectV1
 		fresh := c.admit(b, wire, versioned)
 		if fresh {
-			c.ds.Append(b.Events...)
+			// Pin the append to the batch's DeviceID shard: deterministic
+			// placement, and two connections carrying different devices
+			// lock different dataset shards.
+			c.ds.AppendShard(int(b.DeviceID%uint64(c.ds.NumShards())), b.Events...)
 			mColBatches.Inc()
 			mColEvents.Add(int64(len(b.Events)))
 			mDatasetEvents.Set(float64(c.ds.Len()))
@@ -329,22 +384,24 @@ func (c *Collector) serve(conn net.Conn) {
 // admit records a received batch and decides whether it is fresh. For
 // versioned batches the per-device high-water mark dedups retries; the
 // mark advances *before* the append so a concurrent retry of the same
-// batch on another connection can never double-append.
+// batch on another connection can never double-append. Only the batch's
+// DeviceID shard is locked.
 func (c *Collector) admit(b *Batch, wire int, versioned bool) (fresh bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.rxBytes += int64(wire)
+	sh := c.shardFor(b.DeviceID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.rxBytes += int64(wire)
 	if versioned && b.Seq > 0 {
-		if last, ok := c.lastSeq[b.DeviceID]; ok && b.Seq <= last {
-			c.dedupHits++
+		if last, ok := sh.lastSeq[b.DeviceID]; ok && b.Seq <= last {
+			sh.dedupHits++
 			mColDedupHits.Inc()
 			return false
 		}
-		c.lastSeq[b.DeviceID] = b.Seq
+		sh.lastSeq[b.DeviceID] = b.Seq
 	}
-	c.batches++
+	sh.batches++
 	for i := range b.Events {
-		c.quantiles.Add(b.Events[i].Duration.Seconds())
+		sh.quantiles.Add(b.Events[i].Duration.Seconds())
 	}
 	return true
 }

@@ -1,6 +1,9 @@
 package trace
 
 import (
+	"bufio"
+	"bytes"
+	"reflect"
 	"testing"
 
 	"repro/internal/failure"
@@ -23,6 +26,39 @@ func FuzzReadBatch(f *testing.F) {
 		// A successfully decoded batch must be internally consistent.
 		for i := range b.Events {
 			_ = b.Events[i].Kind.String()
+		}
+	})
+}
+
+// FuzzWireV3RoundTrip hardens the v3 decoder two ways at once: arbitrary
+// bytes must never panic or over-allocate, and any input that *does*
+// decode must re-encode/decode to the identical batch — which, combined
+// with TestWireV3GobOracle, pins v3 to the gob dialect's semantics.
+func FuzzWireV3RoundTrip(f *testing.F) {
+	seed1, _ := AppendBatchV3(nil, &Batch{DeviceID: 3, Seq: 1, Events: sampleEvents(3)})
+	seed2, _ := AppendBatchV3(nil, &Batch{DeviceID: 1, Seq: 9, Events: sampleEvents(400)}) // gzip'd
+	seed3, _ := AppendBatchV3(nil, &Batch{DeviceID: 0, Seq: 0})
+	f.Add(seed1)
+	f.Add(seed2)
+	f.Add(seed3)
+	f.Add([]byte{versionV3})
+	f.Add([]byte{versionV3, 0x01, 0, 0, 0, 2, 0x1f, 0x8b})
+	f.Add([]byte{versionV3, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, _, _, err := ReadBatchAny(bufio.NewReader(bytes.NewReader(data)))
+		if err != nil {
+			return
+		}
+		frame, err := AppendBatchV3(nil, b)
+		if err != nil {
+			t.Fatalf("re-encode of decoded batch failed: %v", err)
+		}
+		again, _, _, err := ReadBatchAny(bufio.NewReader(bytes.NewReader(frame)))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(b, again) {
+			t.Fatalf("v3 re-encode not stable:\n was %+v\n now %+v", b, again)
 		}
 	})
 }

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"encoding/json"
+	"log"
 	"net/http"
 	"strconv"
 
@@ -33,9 +34,16 @@ func (a *QueryAPI) Routes(mux *http.ServeMux) {
 	mux.HandleFunc("/api/digest", a.handleDigest)
 }
 
+// writeJSON encodes v to the response. An encode failure — a client that
+// hung up mid-body, or an unmarshalable value — used to be silently
+// dropped; it is now logged and counted on trace_http_encode_errors_total
+// so truncated API responses show up on dashboards instead of vanishing.
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		mHTTPEncodeErrors.Inc()
+		log.Printf("trace: http api: encode response: %v", err)
+	}
 }
 
 func (a *QueryAPI) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -143,5 +144,43 @@ func TestAPIByModelAndISP(t *testing.T) {
 	}
 	if sum != 60 {
 		t.Errorf("ISP events sum %d, want 60", sum)
+	}
+}
+
+// brokenResponseWriter fails every Write, simulating a client that hung
+// up mid-response.
+type brokenResponseWriter struct{ hdr http.Header }
+
+func (w *brokenResponseWriter) Header() http.Header {
+	if w.hdr == nil {
+		w.hdr = http.Header{}
+	}
+	return w.hdr
+}
+func (w *brokenResponseWriter) Write([]byte) (int, error) {
+	return 0, errConnGone
+}
+func (w *brokenResponseWriter) WriteHeader(int) {}
+
+var errConnGone = errors.New("client gone")
+
+// TestWriteJSONEncodeErrorCounted pins the satellite fix: a JSON encode
+// failure on the query API must increment trace_http_encode_errors_total
+// instead of being silently dropped.
+func TestWriteJSONEncodeErrorCounted(t *testing.T) {
+	before := mHTTPEncodeErrors.Value()
+	writeJSON(&brokenResponseWriter{}, map[string]int{"x": 1})
+	if got := mHTTPEncodeErrors.Value() - before; got != 1 {
+		t.Fatalf("encode errors counted = %d, want 1", got)
+	}
+	// Sanity: a healthy writer must not bump the counter.
+	rec := httptest.NewRecorder()
+	before = mHTTPEncodeErrors.Value()
+	writeJSON(rec, map[string]int{"x": 1})
+	if got := mHTTPEncodeErrors.Value() - before; got != 0 {
+		t.Fatalf("healthy encode bumped counter by %d", got)
+	}
+	if rec.Body.Len() == 0 {
+		t.Fatal("healthy encode wrote nothing")
 	}
 }

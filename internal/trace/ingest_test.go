@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"bufio"
 	"errors"
 	"io"
 	"net"
@@ -244,11 +245,7 @@ func TestUploaderBadAck(t *testing.T) {
 			return
 		}
 		defer conn.Close()
-		var version [1]byte
-		if _, err := io.ReadFull(conn, version[:]); err != nil {
-			return
-		}
-		if _, _, err := ReadBatch(conn); err != nil {
+		if _, _, _, err := ReadBatchAny(bufio.NewReader(conn)); err != nil {
 			return
 		}
 		writeReply(conn, batchAck, 99999, 0) // wrong seq on purpose

@@ -43,4 +43,6 @@ var (
 		"Connections shed with a nack reply because the connection cap was reached.")
 	mColOpenConns = metrics.NewGauge("trace_collector_open_connections",
 		"Connections currently served by collectors in this process.")
+	mHTTPEncodeErrors = metrics.NewCounter("trace_http_encode_errors_total",
+		"JSON encode failures while writing query-API responses (client gone or unmarshalable value).")
 )

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 	"os"
@@ -45,11 +46,13 @@ func (o *offsetWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// append writes one batch frame at the tail.
+// append writes one batch frame at the tail, in the v3 codec: the WAL is
+// private to one uploader process (truncated on open), so its format can
+// track the fastest dialect regardless of what the wire speaks.
 func (w *spillWAL) append(b *Batch) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	n, err := WriteBatch(&offsetWriter{f: w.f, off: w.writeOff}, b)
+	n, err := WriteBatchV3(&offsetWriter{f: w.f, off: w.writeOff}, b)
 	if err != nil {
 		return fmt.Errorf("trace: spill batch: %w", err)
 	}
@@ -67,7 +70,8 @@ func (w *spillWAL) peek() (*Batch, int, error) {
 	if w.batches == 0 {
 		return nil, 0, nil
 	}
-	b, wire, err := ReadBatch(io.NewSectionReader(w.f, w.readOff, w.writeOff-w.readOff))
+	sec := io.NewSectionReader(w.f, w.readOff, w.writeOff-w.readOff)
+	b, wire, _, err := ReadBatchAny(bufio.NewReader(sec))
 	if err != nil {
 		return nil, 0, err
 	}

@@ -39,12 +39,14 @@ func (sw *StreamWriter) Write(e failure.Event) error {
 	return nil
 }
 
-// Flush writes any buffered events as a frame.
+// Flush writes any buffered events as a frame. New streams are written
+// in the v3 codec; StreamReader decodes either dialect, so files written
+// before the codec switch remain readable.
 func (sw *StreamWriter) Flush() error {
 	if len(sw.buf) == 0 {
 		return nil
 	}
-	if _, err := WriteBatch(sw.w, &Batch{Events: sw.buf}); err != nil {
+	if _, err := WriteBatchV3(sw.w, &Batch{Events: sw.buf}); err != nil {
 		return err
 	}
 	sw.wrote += len(sw.buf)
@@ -74,7 +76,7 @@ func (sr *StreamReader) Next() (*failure.Event, error) {
 		return nil, sr.err
 	}
 	for sr.idx >= len(sr.cur) {
-		b, _, err := ReadBatch(sr.br)
+		b, _, _, err := ReadBatchAny(sr.br)
 		if err != nil {
 			sr.err = err
 			return nil, err

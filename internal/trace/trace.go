@@ -44,14 +44,26 @@ func WriteBatch(w io.Writer, b *Batch) (int, error) {
 }
 
 func writeBatchLimit(w io.Writer, b *Batch, limit int) (int, error) {
-	var payload bytesBuffer
-	zw := gzip.NewWriter(&payload)
+	// The gob encoder must be fresh per frame — each frame re-transmits
+	// its type descriptors, so a collector can decode any frame in
+	// isolation — but the payload buffer and the deflate state are
+	// recycled through pools, so the legacy path no longer reallocates
+	// its compressor per batch.
+	pp := getScratch(1 << 12)
+	defer putScratch(pp)
+	payload := bytesBuffer((*pp)[:0])
+	zw := gzipDefaultPool.Get().(*gzip.Writer)
+	zw.Reset(&payload)
 	if err := gob.NewEncoder(zw).Encode(b); err != nil {
+		gzipDefaultPool.Put(zw)
 		return 0, fmt.Errorf("trace: encode batch: %w", err)
 	}
 	if err := zw.Close(); err != nil {
+		gzipDefaultPool.Put(zw)
 		return 0, fmt.Errorf("trace: compress batch: %w", err)
 	}
+	gzipDefaultPool.Put(zw)
+	*pp = payload
 	if len(payload) > limit {
 		return 0, fmt.Errorf("trace: batch payload %d bytes exceeds wire limit %d; split the batch", len(payload), limit)
 	}
@@ -65,6 +77,10 @@ func writeBatchLimit(w io.Writer, b *Batch, limit int) (int, error) {
 	}
 	return 4 + len(payload), nil
 }
+
+// gzipDefaultPool recycles default-level writers for the v1/v2 dialects
+// (the level gzip.NewWriter always used, so wire bytes are unchanged).
+var gzipDefaultPool = sync.Pool{New: func() any { return gzip.NewWriter(io.Discard) }}
 
 // ReadBatch reads one batch written by WriteBatch, returning the batch and
 // its exact wire size (length prefix + compressed payload) so callers can
@@ -82,15 +98,18 @@ func ReadBatch(r io.Reader) (*Batch, int, error) {
 	if n == 0 || n > maxBatchWire {
 		return nil, 0, fmt.Errorf("trace: implausible batch size %d", n)
 	}
-	payload := make([]byte, n)
+	pp := getScratch(int(n))
+	defer putScratch(pp)
+	payload := (*pp)[:n]
+	*pp = payload
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return nil, 0, fmt.Errorf("trace: read batch payload: %w", err)
 	}
-	zr, err := gzip.NewReader(bytesReader(payload))
+	zr, err := getGzipReader(bytesReader(payload))
 	if err != nil {
 		return nil, 0, fmt.Errorf("trace: decompress batch: %w", err)
 	}
-	defer zr.Close()
+	defer putGzipReader(zr)
 	var b Batch
 	if err := gob.NewDecoder(zr).Decode(&b); err != nil {
 		return nil, 0, fmt.Errorf("trace: decode batch: %w", err)

@@ -56,11 +56,18 @@ type Uploader struct {
 	// (accounted in Dropped). 0 means unbounded.
 	BufferLimit int
 
+	// Dialect selects the wire encoding for sends: DialectV3 (the zero
+	// value) or DialectV2. Both carry sequence numbers and receive the
+	// 13-byte ack/nack reply, so delivery semantics are identical; v3 is
+	// the fast binary codec, v2 the gob frames older collectors expect.
+	Dialect Dialect
+
 	// sendMu serializes Flush so concurrent flushes cannot double-send;
-	// it also guards the persistent connection.
+	// it also guards the persistent connection and the frame buffer.
 	sendMu sync.Mutex
 	conn   net.Conn
 	rd     *bufio.Reader
+	frame  []byte // reused wire-frame scratch, guarded by sendMu
 
 	mu          sync.Mutex
 	deviceID    uint64
@@ -436,13 +443,12 @@ func (u *Uploader) sendOne(b *Batch) (int, error) {
 	if fault == FaultSlow {
 		time.Sleep(chaosSlowDelay)
 	}
-	var frame bytesBuffer
-	frame = append(frame, versionV2)
-	n, err := WriteBatch(&frame, b)
+	frame, err := appendBatchFrame(u.frame[:0], b, u.Dialect)
 	if err != nil {
 		return 0, fmt.Errorf("trace: upload: %w", err)
 	}
-	wire := n + 1
+	u.frame = frame
+	wire := len(frame)
 	if fault == FaultTruncate {
 		u.conn.Write(frame[:len(frame)/2])
 		u.dropConn()

@@ -1,0 +1,747 @@
+package trace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/android"
+	"repro/internal/failure"
+	"repro/internal/geo"
+	"repro/internal/simnet"
+	"repro/internal/telephony"
+)
+
+// Wire dialect v3: a hand-rolled binary batch encoding.
+//
+// The v1/v2 payload is gob wrapped in gzip, both constructed fresh per
+// batch: gob re-transmits its type descriptors on every frame and walks
+// each event by reflection, and the throwaway gzip writer allocates its
+// whole deflate state per call. At fleet scale the wire path — not the
+// simulation — becomes the bottleneck. v3 keeps the outer shape of the
+// protocol (one tagged frame per batch, the 13-byte v2 ack/nack reply,
+// per-device Seq dedup) and replaces the payload encoding:
+//
+//	frame   = versionV3 byte (0xA3) ++ flags byte ++ uint32 BE body len
+//	          ++ body
+//	body    = payload, or gzip(payload) when flags&v3FlagGzip != 0
+//	payload = uvarint DeviceID ++ uvarint Seq
+//	          ++ uvarint #strings ++ { uvarint len ++ bytes }   (APN table)
+//	          ++ uvarint #cells   ++ { cell record }            (BS table)
+//	          ++ uvarint #events  ++ { event record }
+//
+// All multi-byte integers inside the payload are varints (zigzag for
+// signed values); enum fields (Kind, ISP, Region, RAT, Level,
+// ResolvedBy) are single bytes. The highly repetitive per-event context
+// — the camped cell identity and the APN string — is interned in
+// per-frame tables and referenced by index, so a thousand events camped
+// on a handful of cells cost a varint each instead of 14 bytes. Optional
+// fields (stall recovery outcome, transition info) sit behind a per-event
+// flag bitmask instead of gob's reflection-driven presence encoding.
+//
+// Compression is a per-frame flag: payloads under v3CompressMin bytes
+// skip gzip entirely (a small batch spends more cycles on deflate setup
+// than it saves on the wire), larger ones use a pooled BestSpeed writer.
+// Encode and decode scratch — buffers, intern tables, gzip state — is
+// recycled through sync.Pools, so a steady-state uploader or collector
+// allocates only the decoded events themselves.
+//
+// The first frame byte keeps the three dialects disjoint: v1 starts with
+// a length-prefix byte <= 0x04 (64 MiB cap), v2 with 0xA2, v3 with 0xA3.
+// One listener serves all three (ReadBatchAny); v3 clients receive the
+// same 13-byte reply as v2 clients.
+const (
+	// versionV3 prefixes every v3 upload frame.
+	versionV3 = 0xA3
+	// v3FlagGzip marks a gzip-compressed body.
+	v3FlagGzip = 0x01
+	// v3CompressMin is the raw payload size below which the encoder skips
+	// gzip. The binary payload is already compact — interned tables,
+	// delta-coded varints, no type descriptors — so deflate buys roughly
+	// 2x the bytes at roughly 10x the CPU of the encode itself. On the
+	// CPU-bound ingest path that trade only pays off for large frames
+	// (multi-thousand-event batches, stream and spill files); typical
+	// per-device upload batches ship raw.
+	v3CompressMin = 1 << 15
+	// v3MinEventBytes is the smallest possible encoded event (every varint
+	// one byte, no optional fields) — the decoder's allocation bound.
+	v3MinEventBytes = 14
+	// v3MinCellBytes is the smallest possible cell-table record.
+	v3MinCellBytes = 5
+)
+
+// Dialect identifies a wire encoding for uploads. The zero value is
+// treated as DialectV3 everywhere a dialect is consumed, so existing
+// callers pick up the fast path without code changes.
+type Dialect uint8
+
+// Wire dialects.
+const (
+	// DialectV1 is the legacy unversioned frame: uint32 BE length +
+	// gzip(gob), acknowledged with a bare 0x06 byte.
+	DialectV1 Dialect = iota + 1
+	// DialectV2 is the sequenced gob dialect: 0xA2 + v1 frame, 13-byte
+	// ack/nack replies.
+	DialectV2
+	// DialectV3 is the binary dialect described above: 0xA3 frames,
+	// 13-byte ack/nack replies.
+	DialectV3
+)
+
+func (d Dialect) String() string {
+	switch d {
+	case DialectV1:
+		return "v1"
+	case DialectV2:
+		return "v2"
+	case 0, DialectV3:
+		return "v3"
+	default:
+		return "unknown"
+	}
+}
+
+// ParseDialect maps a configuration string to a dialect: "v3"/"" select
+// the binary codec, "v2" the sequenced gob frames.
+func ParseDialect(s string) (Dialect, error) {
+	switch s {
+	case "", "v3":
+		return DialectV3, nil
+	case "v2":
+		return DialectV2, nil
+	default:
+		return 0, fmt.Errorf("trace: unknown wire dialect %q (want v2 or v3)", s)
+	}
+}
+
+// errV3Malformed wraps every structural decode failure, so callers can
+// distinguish a corrupt frame from an I/O error.
+var errV3Malformed = errors.New("trace: malformed v3 frame")
+
+// ---------------------------------------------------------------------------
+// Pools. The encoder scratch, the frame/payload buffers, and the gzip
+// state survive across batches; only decoded events escape.
+
+// v3Enc is one encoder's reusable scratch: the event-section buffer, the
+// assembled payload, and the intern tables.
+type v3Enc struct {
+	payload []byte
+	events  []byte
+	frame   []byte
+	strs    []string
+	strIdx  map[string]int
+	cells   []telephony.CellIdentity
+	cellIdx map[telephony.CellIdentity]int
+}
+
+var v3EncPool = sync.Pool{New: func() any {
+	return &v3Enc{
+		strIdx:  make(map[string]int, 8),
+		cellIdx: make(map[telephony.CellIdentity]int, 64),
+	}
+}}
+
+func (enc *v3Enc) reset() {
+	enc.payload = enc.payload[:0]
+	enc.events = enc.events[:0]
+	enc.frame = enc.frame[:0]
+	if len(enc.strs) > 0 {
+		clear(enc.strIdx)
+		enc.strs = enc.strs[:0]
+	}
+	if len(enc.cells) > 0 {
+		clear(enc.cellIdx)
+		enc.cells = enc.cells[:0]
+	}
+}
+
+// gzipSpeedPool recycles BestSpeed writers for the v3 body.
+var gzipSpeedPool = sync.Pool{New: func() any {
+	zw, _ := gzip.NewWriterLevel(io.Discard, gzip.BestSpeed)
+	return zw
+}}
+
+// scratchPool recycles byte slices for compressed bodies and decode
+// buffers (both dialects).
+var scratchPool = sync.Pool{New: func() any { return new([]byte) }}
+
+func getScratch(n int) *[]byte {
+	p := scratchPool.Get().(*[]byte)
+	if cap(*p) < n {
+		*p = make([]byte, 0, n)
+	}
+	*p = (*p)[:0]
+	return p
+}
+
+func putScratch(p *[]byte) {
+	if cap(*p) > maxBatchWire {
+		return // don't park a pathological allocation in the pool
+	}
+	scratchPool.Put(p)
+}
+
+// ---------------------------------------------------------------------------
+// Encoding.
+
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+func (enc *v3Enc) internStr(s string) int {
+	if i, ok := enc.strIdx[s]; ok {
+		return i
+	}
+	i := len(enc.strs)
+	enc.strs = append(enc.strs, s)
+	enc.strIdx[s] = i
+	return i
+}
+
+func (enc *v3Enc) internCell(c telephony.CellIdentity) int {
+	if i, ok := enc.cellIdx[c]; ok {
+		return i
+	}
+	i := len(enc.cells)
+	enc.cells = append(enc.cells, c)
+	enc.cellIdx[c] = i
+	return i
+}
+
+// Per-event optional-field flags.
+const (
+	v3EvFiveG      = 1 << 0
+	v3EvDenseBS    = 1 << 1
+	v3EvResolved   = 1 << 2
+	v3EvOps        = 1 << 3
+	v3EvAutoFix    = 1 << 4
+	v3EvTransition = 1 << 5
+	v3EvKnownBits  = v3EvFiveG | v3EvDenseBS | v3EvResolved | v3EvOps | v3EvAutoFix | v3EvTransition
+)
+
+// appendEvent encodes one event into the scratch event section. prevDev
+// is the previous event's DeviceID (the batch DeviceID for the first
+// event); device IDs are delta-coded since a batch is usually one
+// device's — or one shard's contiguous range of — events.
+func (enc *v3Enc) appendEvent(e *failure.Event, prevDev uint64) {
+	var flags byte
+	if e.FiveGCapable {
+		flags |= v3EvFiveG
+	}
+	if e.DenseBS {
+		flags |= v3EvDenseBS
+	}
+	if e.ResolvedBy != 0 {
+		flags |= v3EvResolved
+	}
+	if e.OpsExecuted != 0 {
+		flags |= v3EvOps
+	}
+	if e.AutoFixTime != 0 {
+		flags |= v3EvAutoFix
+	}
+	if e.Transition != nil {
+		flags |= v3EvTransition
+	}
+	b := append(enc.events, byte(e.Kind), flags)
+	b = binary.AppendUvarint(b, zigzag(int64(e.DeviceID-prevDev)))
+	b = binary.AppendUvarint(b, zigzag(int64(e.ModelID)))
+	b = binary.AppendUvarint(b, zigzag(int64(e.AndroidVersion)))
+	b = append(b, byte(e.ISP))
+	b = binary.AppendUvarint(b, uint64(enc.internCell(e.Cell)))
+	b = append(b, byte(e.Region), byte(e.RAT), byte(e.Level))
+	b = binary.AppendUvarint(b, uint64(enc.internStr(string(e.APN))))
+	b = binary.AppendUvarint(b, zigzag(int64(e.Cause)))
+	b = binary.AppendUvarint(b, zigzag(int64(e.Start)))
+	b = binary.AppendUvarint(b, zigzag(int64(e.Duration)))
+	if flags&v3EvResolved != 0 {
+		b = append(b, byte(e.ResolvedBy))
+	}
+	if flags&v3EvOps != 0 {
+		b = binary.AppendUvarint(b, zigzag(int64(e.OpsExecuted)))
+	}
+	if flags&v3EvAutoFix != 0 {
+		b = binary.AppendUvarint(b, zigzag(int64(e.AutoFixTime)))
+	}
+	if tr := e.Transition; tr != nil {
+		b = append(b, byte(tr.FromRAT), byte(tr.ToRAT), byte(tr.FromLevel), byte(tr.ToLevel))
+	}
+	enc.events = b
+}
+
+// AppendBatchV3 appends one complete v3 wire frame (tag, flags, length,
+// body) for b to dst and returns the extended slice. Encoder scratch and
+// gzip state come from pools, so steady-state encoding does not allocate
+// beyond dst's growth.
+func AppendBatchV3(dst []byte, b *Batch) ([]byte, error) {
+	enc := v3EncPool.Get().(*v3Enc)
+	defer v3EncPool.Put(enc)
+	enc.reset()
+
+	prev := b.DeviceID
+	for i := range b.Events {
+		enc.appendEvent(&b.Events[i], prev)
+		prev = b.Events[i].DeviceID
+	}
+
+	p := enc.payload
+	p = binary.AppendUvarint(p, b.DeviceID)
+	p = binary.AppendUvarint(p, b.Seq)
+	p = binary.AppendUvarint(p, uint64(len(enc.strs)))
+	for _, s := range enc.strs {
+		p = binary.AppendUvarint(p, uint64(len(s)))
+		p = append(p, s...)
+	}
+	p = binary.AppendUvarint(p, uint64(len(enc.cells)))
+	for _, c := range enc.cells {
+		p = binary.AppendUvarint(p, uint64(c.MCC))
+		p = binary.AppendUvarint(p, uint64(c.MNC))
+		p = binary.AppendUvarint(p, uint64(c.LAC))
+		p = binary.AppendUvarint(p, uint64(c.CID))
+		if c.CDMA {
+			p = append(p, 1)
+		} else {
+			p = append(p, 0)
+		}
+	}
+	p = binary.AppendUvarint(p, uint64(len(b.Events)))
+	p = append(p, enc.events...)
+	enc.payload = p
+	if len(p) > maxBatchWire {
+		return dst, fmt.Errorf("trace: batch payload %d bytes exceeds wire limit %d; split the batch", len(p), maxBatchWire)
+	}
+
+	body := p
+	var flags byte
+	if len(p) >= v3CompressMin {
+		zw := gzipSpeedPool.Get().(*gzip.Writer)
+		enc.frame = enc.frame[:0]
+		fw := (*bytesBuffer)(&enc.frame)
+		zw.Reset(fw)
+		if _, err := zw.Write(p); err != nil {
+			gzipSpeedPool.Put(zw)
+			return dst, fmt.Errorf("trace: compress batch: %w", err)
+		}
+		if err := zw.Close(); err != nil {
+			gzipSpeedPool.Put(zw)
+			return dst, fmt.Errorf("trace: compress batch: %w", err)
+		}
+		gzipSpeedPool.Put(zw)
+		if len(enc.frame) < len(p) {
+			body = enc.frame
+			flags = v3FlagGzip
+		}
+	}
+	if len(body) > maxBatchWire {
+		return dst, fmt.Errorf("trace: batch payload %d bytes exceeds wire limit %d; split the batch", len(body), maxBatchWire)
+	}
+
+	dst = append(dst, versionV3, flags)
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	dst = append(dst, hdr[:]...)
+	return append(dst, body...), nil
+}
+
+// WriteBatchV3 writes one v3 frame to w, returning its wire size.
+func WriteBatchV3(w io.Writer, b *Batch) (int, error) {
+	fp := getScratch(256)
+	defer putScratch(fp)
+	frame, err := AppendBatchV3((*fp)[:0], b)
+	if err != nil {
+		return 0, err
+	}
+	*fp = frame
+	if _, err := w.Write(frame); err != nil {
+		return 0, err
+	}
+	return len(frame), nil
+}
+
+// ---------------------------------------------------------------------------
+// Decoding.
+
+// v3cur is a bounds-checked cursor over a decoded payload.
+type v3cur struct {
+	b   []byte
+	off int
+}
+
+func (c *v3cur) remaining() int { return len(c.b) - c.off }
+
+func (c *v3cur) byte() (byte, error) {
+	if c.off >= len(c.b) {
+		return 0, errV3Malformed
+	}
+	v := c.b[c.off]
+	c.off++
+	return v, nil
+}
+
+func (c *v3cur) uvarint() (uint64, error) {
+	// Fast path: most fields (deltas, indexes, small counts) fit one byte.
+	if c.off < len(c.b) {
+		if b := c.b[c.off]; b < 0x80 {
+			c.off++
+			return uint64(b), nil
+		}
+	}
+	v, n := binary.Uvarint(c.b[c.off:])
+	if n <= 0 {
+		return 0, errV3Malformed
+	}
+	c.off += n
+	return v, nil
+}
+
+func (c *v3cur) varint() (int64, error) {
+	u, err := c.uvarint()
+	return unzigzag(u), err
+}
+
+// decodeBatchV3 parses one raw (decompressed) v3 payload. Every count is
+// bounded by the bytes actually present, so a corrupt frame can neither
+// panic nor drive an allocation bomb.
+func decodeBatchV3(payload []byte) (*Batch, error) {
+	cur := v3cur{b: payload}
+	b := &Batch{}
+	var err error
+	if b.DeviceID, err = cur.uvarint(); err != nil {
+		return nil, err
+	}
+	if b.Seq, err = cur.uvarint(); err != nil {
+		return nil, err
+	}
+
+	nStrs, err := cur.uvarint()
+	if err != nil || nStrs > uint64(cur.remaining()) {
+		return nil, errV3Malformed
+	}
+	strs := make([]string, 0, nStrs)
+	for i := uint64(0); i < nStrs; i++ {
+		n, err := cur.uvarint()
+		if err != nil || n > uint64(cur.remaining()) {
+			return nil, errV3Malformed
+		}
+		strs = append(strs, string(cur.b[cur.off:cur.off+int(n)]))
+		cur.off += int(n)
+	}
+
+	nCells, err := cur.uvarint()
+	if err != nil || nCells > uint64(cur.remaining()/v3MinCellBytes) {
+		return nil, errV3Malformed
+	}
+	cells := make([]telephony.CellIdentity, 0, nCells)
+	for i := uint64(0); i < nCells; i++ {
+		var c telephony.CellIdentity
+		mcc, err := cur.uvarint()
+		if err != nil || mcc > 0xFFFF {
+			return nil, errV3Malformed
+		}
+		mnc, err := cur.uvarint()
+		if err != nil || mnc > 0xFFFF {
+			return nil, errV3Malformed
+		}
+		lac, err := cur.uvarint()
+		if err != nil || lac > 0xFFFFFFFF {
+			return nil, errV3Malformed
+		}
+		cid, err := cur.uvarint()
+		if err != nil || cid > 0xFFFFFFFF {
+			return nil, errV3Malformed
+		}
+		cdma, err := cur.byte()
+		if err != nil || cdma > 1 {
+			return nil, errV3Malformed
+		}
+		c.MCC, c.MNC, c.LAC, c.CID, c.CDMA = uint16(mcc), uint16(mnc), uint32(lac), uint32(cid), cdma == 1
+		cells = append(cells, c)
+	}
+
+	nEvents, err := cur.uvarint()
+	if err != nil || nEvents > uint64(cur.remaining()/v3MinEventBytes) {
+		return nil, errV3Malformed
+	}
+	if nEvents == 0 {
+		if cur.remaining() != 0 {
+			return nil, errV3Malformed
+		}
+		return b, nil
+	}
+	events := make([]failure.Event, nEvents)
+	// Transitions are bulk-allocated once the count is known; pointers are
+	// assigned after the backing slice stops growing.
+	transIdx := make([]int, 0)
+	var trans []failure.TransitionInfo
+	prevDev := b.DeviceID
+	for i := range events {
+		e := &events[i]
+		kind, err := cur.byte()
+		if err != nil {
+			return nil, err
+		}
+		flags, err := cur.byte()
+		if err != nil || flags&^byte(v3EvKnownBits) != 0 {
+			return nil, errV3Malformed
+		}
+		e.Kind = failure.Kind(kind)
+		e.FiveGCapable = flags&v3EvFiveG != 0
+		e.DenseBS = flags&v3EvDenseBS != 0
+		dd, err := cur.varint()
+		if err != nil {
+			return nil, err
+		}
+		e.DeviceID = prevDev + uint64(dd)
+		prevDev = e.DeviceID
+		model, err := cur.varint()
+		if err != nil {
+			return nil, err
+		}
+		e.ModelID = int(model)
+		av, err := cur.varint()
+		if err != nil {
+			return nil, err
+		}
+		e.AndroidVersion = int(av)
+		isp, err := cur.byte()
+		if err != nil {
+			return nil, err
+		}
+		e.ISP = simnet.ISPID(isp)
+		ci, err := cur.uvarint()
+		if err != nil || ci >= uint64(len(cells)) {
+			return nil, errV3Malformed
+		}
+		e.Cell = cells[ci]
+		region, err := cur.byte()
+		if err != nil {
+			return nil, err
+		}
+		e.Region = geo.Region(region)
+		rat, err := cur.byte()
+		if err != nil {
+			return nil, err
+		}
+		e.RAT = telephony.RAT(rat)
+		level, err := cur.byte()
+		if err != nil {
+			return nil, err
+		}
+		e.Level = telephony.SignalLevel(level)
+		si, err := cur.uvarint()
+		if err != nil || si >= uint64(len(strs)) {
+			return nil, errV3Malformed
+		}
+		e.APN = telephony.APN(strs[si])
+		cause, err := cur.varint()
+		if err != nil {
+			return nil, err
+		}
+		e.Cause = telephony.FailCause(cause)
+		start, err := cur.varint()
+		if err != nil {
+			return nil, err
+		}
+		e.Start = time.Duration(start)
+		dur, err := cur.varint()
+		if err != nil {
+			return nil, err
+		}
+		e.Duration = time.Duration(dur)
+		if flags&v3EvResolved != 0 {
+			rb, err := cur.byte()
+			if err != nil {
+				return nil, err
+			}
+			e.ResolvedBy = android.ResolvedBy(rb)
+		}
+		if flags&v3EvOps != 0 {
+			ops, err := cur.varint()
+			if err != nil {
+				return nil, err
+			}
+			e.OpsExecuted = int(ops)
+		}
+		if flags&v3EvAutoFix != 0 {
+			af, err := cur.varint()
+			if err != nil {
+				return nil, err
+			}
+			e.AutoFixTime = time.Duration(af)
+		}
+		if flags&v3EvTransition != 0 {
+			var tr failure.TransitionInfo
+			fr, err := cur.byte()
+			if err != nil {
+				return nil, err
+			}
+			to, err := cur.byte()
+			if err != nil {
+				return nil, err
+			}
+			fl, err := cur.byte()
+			if err != nil {
+				return nil, err
+			}
+			tl, err := cur.byte()
+			if err != nil {
+				return nil, err
+			}
+			tr.FromRAT, tr.ToRAT = telephony.RAT(fr), telephony.RAT(to)
+			tr.FromLevel, tr.ToLevel = telephony.SignalLevel(fl), telephony.SignalLevel(tl)
+			trans = append(trans, tr)
+			transIdx = append(transIdx, i)
+		}
+	}
+	if cur.remaining() != 0 {
+		return nil, errV3Malformed
+	}
+	for k, i := range transIdx {
+		events[i].Transition = &trans[k]
+	}
+	b.Events = events
+	return b, nil
+}
+
+// readBatchV3Body reads one v3 frame after its 0xA3 tag has been
+// consumed, returning the batch and the bytes read (excluding the tag).
+func readBatchV3Body(r io.Reader) (*Batch, int, error) {
+	var hdr [5]byte // flags + uint32 BE body length
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, 0, fmt.Errorf("trace: read v3 batch header: %w", err)
+	}
+	flags := hdr[0]
+	if flags&^byte(v3FlagGzip) != 0 {
+		return nil, 0, errV3Malformed
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n == 0 || n > maxBatchWire {
+		return nil, 0, fmt.Errorf("trace: implausible v3 batch size %d", n)
+	}
+	bodyP := getScratch(int(n))
+	defer putScratch(bodyP)
+	body := (*bodyP)[:n]
+	*bodyP = body
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, 0, fmt.Errorf("trace: read v3 batch payload: %w", err)
+	}
+
+	payload := body
+	var rawP *[]byte
+	if flags&v3FlagGzip != 0 {
+		zr, err := getGzipReader(bytesReader(body))
+		if err != nil {
+			return nil, 0, fmt.Errorf("trace: decompress v3 batch: %w", err)
+		}
+		rawP = getScratch(4 * int(n))
+		raw, err := readAllLimit((*rawP)[:0], zr, maxBatchWire)
+		putGzipReader(zr)
+		if err != nil {
+			putScratch(rawP)
+			return nil, 0, fmt.Errorf("trace: decompress v3 batch: %w", err)
+		}
+		*rawP = raw
+		payload = raw
+	}
+	b, err := decodeBatchV3(payload)
+	if rawP != nil {
+		putScratch(rawP)
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	return b, len(hdr) + int(n), nil
+}
+
+// readAllLimit appends r's contents to dst, erroring past limit bytes —
+// the decompression-bomb guard for v3 bodies.
+func readAllLimit(dst []byte, r io.Reader, limit int) ([]byte, error) {
+	for {
+		if len(dst) == cap(dst) {
+			dst = append(dst, 0)[:len(dst)]
+		}
+		n, err := r.Read(dst[len(dst):cap(dst)])
+		dst = dst[:len(dst)+n]
+		if len(dst) > limit {
+			return dst, fmt.Errorf("trace: v3 payload exceeds %d-byte limit", limit)
+		}
+		if err == io.EOF {
+			return dst, nil
+		}
+		if err != nil {
+			return dst, err
+		}
+	}
+}
+
+// gzipReaderPool recycles inflate state across frames (both dialects).
+var gzipReaderPool = sync.Pool{New: func() any { return new(gzip.Reader) }}
+
+func getGzipReader(r io.Reader) (*gzip.Reader, error) {
+	zr := gzipReaderPool.Get().(*gzip.Reader)
+	if err := zr.Reset(r); err != nil {
+		gzipReaderPool.Put(zr)
+		return nil, err
+	}
+	return zr, nil
+}
+
+func putGzipReader(zr *gzip.Reader) {
+	zr.Close()
+	gzipReaderPool.Put(zr)
+}
+
+// ReadBatchAny reads one frame of any dialect from br, dispatching on
+// the first byte: 0xA3 selects v3, 0xA2 the sequenced gob dialect, and
+// anything else (necessarily <= 0x04, the length prefix of a capped v1
+// frame) the legacy dialect. It returns the batch, the total wire bytes
+// consumed (including any tag byte), and the dialect that was spoken.
+// io.EOF is returned only for a stream ending cleanly at a frame
+// boundary.
+func ReadBatchAny(br *bufio.Reader) (*Batch, int, Dialect, error) {
+	first, err := br.Peek(1)
+	if err != nil {
+		if err == io.EOF {
+			return nil, 0, 0, io.EOF
+		}
+		return nil, 0, 0, fmt.Errorf("trace: read batch tag: %w", err)
+	}
+	switch first[0] {
+	case versionV3:
+		br.ReadByte()
+		b, n, err := readBatchV3Body(br)
+		return b, n + 1, DialectV3, err
+	case versionV2:
+		br.ReadByte()
+		b, n, err := ReadBatch(br)
+		return b, n + 1, DialectV2, err
+	default:
+		b, n, err := ReadBatch(br)
+		return b, n, DialectV1, err
+	}
+}
+
+// appendBatchFrame encodes one complete wire frame for b in the given
+// dialect, appending to dst: the uploader's zero-copy frame builder.
+func appendBatchFrame(dst []byte, b *Batch, d Dialect) ([]byte, error) {
+	switch d {
+	case DialectV2:
+		buf := bytesBuffer(append(dst, versionV2))
+		if _, err := WriteBatch(&buf, b); err != nil {
+			return dst, err
+		}
+		return buf, nil
+	case DialectV1:
+		buf := bytesBuffer(dst)
+		if _, err := WriteBatch(&buf, b); err != nil {
+			return dst, err
+		}
+		return buf, nil
+	default: // DialectV3 and the zero value
+		return AppendBatchV3(dst, b)
+	}
+}
