@@ -1,7 +1,9 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -9,6 +11,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"sync"
 	"time"
 
 	"repro/internal/analysis"
@@ -42,6 +45,13 @@ import (
 //	    faulted fleet uploads, and after the drain the live figures and
 //	    claims JSON are byte-identical to a batch pass over the collected
 //	    dataset — and identical across worker counts.
+//	I6  crash durability (-restart): the collector — backed by a segment
+//	    store — is SIGKILLed mid-campaign and rebooted from disk; the
+//	    devices' backoff/WAL retries carry everything across the outage,
+//	    so I4/I5 must still hold end-to-end, the store's segments must
+//	    answer queries while ingest continues, and the post-drain segment
+//	    contents must reproduce the stored multiset and batch figures
+//	    byte-for-byte.
 func runChaos(args []string) {
 	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
 	var (
@@ -51,6 +61,7 @@ func runChaos(args []string) {
 		months  = fs.Float64("months", 4, "measurement window in months")
 		faults  = fs.String("faults", "", "JSON fault-campaign file (default: the bundled BS-blackout campaign, or the bundled network campaign with -network)")
 		network = fs.Bool("network", false, "upload events through an in-process collector under transport faults and check the exactly-once invariant I4")
+		restart = fs.Bool("restart", false, "SIGKILL the segment-store-backed collector mid-campaign, reboot it from disk, and check exactly-once across the restart (implies upload mode)")
 		dialect = fs.String("dialect", "", "upload-mode wire dialect: v3 (default, binary codec) or v2 (gob frames)")
 	)
 	_ = fs.Parse(args)
@@ -70,12 +81,12 @@ func runChaos(args []string) {
 		if err != nil {
 			log.Fatalf("cellcheck chaos: %v", err)
 		}
-	} else if *network {
+	} else if *network || *restart {
 		campaign = faultinject.DefaultNetworkCampaign(scenario.Window)
 	} else {
 		campaign = faultinject.DefaultBlackoutCampaign(scenario.Window)
 	}
-	uploadMode := *network || campaign.HasNetworkRules()
+	uploadMode := *network || *restart || campaign.HasNetworkRules()
 
 	fmt.Printf("chaos: campaign %q over %d devices, %.1f months, seed %d\n",
 		campaign.Name, scenario.NumDevices, scenario.Window.Hours()/24/30, scenario.Seed)
@@ -91,7 +102,12 @@ func runChaos(args []string) {
 	// — exactly what a production deployment would have persisted. A live
 	// streaming engine rides the collector's admit path and its endpoints
 	// are queried mid-run, so invariant I5 exercises live analysis under
-	// the same transport chaos.
+	// the same transport chaos. With -restart the collector is backed by a
+	// segment store and SIGKILLed mid-campaign: a monitor goroutine kills
+	// it once a quarter of the baseline event count has been admitted,
+	// reboots a new collector from the replayed store on the same address,
+	// and the devices' retries carry the rest of the campaign across the
+	// outage (invariant I6).
 	runFaulted := func(workers int) (*fleet.Result, *liveRun) {
 		faulted := scenario
 		faulted.Workers = workers
@@ -106,18 +122,120 @@ func runChaos(args []string) {
 		ds := trace.NewDataset()
 		eng := analysis.NewStreaming(analysis.LiveInput(ds), analysis.StreamingOptions{})
 		defer eng.Close()
-		col, err := trace.NewCollectorWith("127.0.0.1:0", ds, trace.CollectorOptions{OnAdmit: eng.Ingest})
+
+		// cur tracks the collector/dataset/store generation: the restart
+		// monitor swaps in the rebooted trio mid-campaign.
+		cur := &struct {
+			mu        sync.Mutex
+			col       *trace.Collector
+			ds        *trace.Dataset
+			st        *trace.SegStore
+			restarted bool
+			killedAt  int
+		}{ds: ds}
+
+		var storeDir string
+		if *restart {
+			var err error
+			storeDir, err = os.MkdirTemp("", "cellcheck-chaos-store-*")
+			if err != nil {
+				log.Fatalf("cellcheck chaos: store dir: %v", err)
+			}
+			defer os.RemoveAll(storeDir)
+			cur.st, err = trace.OpenSegStore(storeDir, trace.SegStoreOptions{}, nil)
+			if err != nil {
+				log.Fatalf("cellcheck chaos: store: %v", err)
+			}
+		}
+		col, err := trace.NewCollectorWith("127.0.0.1:0", ds, trace.CollectorOptions{
+			OnAdmit: eng.Ingest,
+			Store:   cur.st,
+		})
 		if err != nil {
 			log.Fatalf("cellcheck chaos: collector: %v", err)
 		}
-		faulted.UploadAddr = col.Addr()
+		cur.col = col
+		addr := col.Addr()
+		faulted.UploadAddr = addr
 
 		mux := http.NewServeMux()
 		analysis.NewLiveAPI(eng, core.Catalogue()).Routes(mux)
+		if *restart {
+			// The store handle changes at the restart, so the segment API
+			// resolves the current generation per request.
+			segments := func(w http.ResponseWriter, r *http.Request) {
+				cur.mu.Lock()
+				st := cur.st
+				cur.mu.Unlock()
+				inner := http.NewServeMux()
+				trace.NewStoreAPI(st).Routes(inner)
+				inner.ServeHTTP(w, r)
+			}
+			mux.HandleFunc("/api/segments", segments)
+			mux.HandleFunc("/api/segments/", segments)
+		}
 		srv := httptest.NewServer(mux)
 		defer srv.Close()
 
 		live := &liveRun{}
+		monitorStop := make(chan struct{})
+		monitorDone := make(chan struct{})
+		if *restart {
+			// Kill once the campaign is well underway: a quarter of the
+			// baseline's event count has been admitted and made durable.
+			target := baseline.Dataset.Len() / 4
+			if target < 1 {
+				target = 1
+			}
+			go func() {
+				defer close(monitorDone)
+				for ds.Len() < target {
+					select {
+					case <-monitorStop:
+						return
+					case <-time.After(2 * time.Millisecond):
+					}
+				}
+				// SIGKILL approximation: no drain, no acks, no final
+				// checkpoint or seal. Collector first (its wg.Wait lets
+				// in-flight appends finish), then the store fd.
+				col.Kill()
+				cur.st.Kill()
+				killedAt := ds.Len()
+
+				ds2 := trace.NewDataset()
+				st2, err := trace.OpenSegStore(storeDir, trace.SegStoreOptions{}, trace.ReplayInto(ds2))
+				if err != nil {
+					log.Fatalf("cellcheck chaos: store reboot: %v", err)
+				}
+				// Reboot on the same address so the devices' retries land
+				// without reconfiguration. The old listener is closed, but
+				// give the kernel a beat to release the port if needed.
+				var col2 *trace.Collector
+				for i := 0; i < 200; i++ {
+					col2, err = trace.NewCollectorWith(addr, ds2, trace.CollectorOptions{
+						OnAdmit: eng.Ingest,
+						Store:   st2,
+					})
+					if err == nil {
+						break
+					}
+					time.Sleep(10 * time.Millisecond)
+				}
+				if err != nil {
+					log.Fatalf("cellcheck chaos: collector reboot: %v", err)
+				}
+				cur.mu.Lock()
+				cur.col, cur.ds, cur.st = col2, ds2, st2
+				cur.restarted, cur.killedAt = true, killedAt
+				cur.mu.Unlock()
+				fmt.Printf("collector (workers=%d): killed at %d events, rebooted from %d replayed\n",
+					workers, killedAt, ds2.Len())
+			}()
+		} else {
+			close(monitorDone)
+		}
+
 		done := make(chan *fleet.Result, 1)
 		go func() {
 			res, err := fleet.Run(faulted)
@@ -134,8 +252,21 @@ func runChaos(args []string) {
 				liveFetch(srv, "/api/live/figures")
 				liveFetch(srv, "/api/live/status")
 				live.queries += 2
+				if *restart {
+					if liveFetch(srv, "/api/segments") != nil {
+						live.segQueries++
+					}
+				}
 			}
 		}
+		close(monitorStop)
+		<-monitorDone
+		cur.mu.Lock()
+		col, ds = cur.col, cur.ds
+		st := cur.st
+		live.restarted, live.killedAt = cur.restarted, cur.killedAt
+		cur.mu.Unlock()
+
 		col.Drain(5 * time.Second)
 		fmt.Printf("collector (workers=%d): %d events, %d dedup hits, %d nacks, digest %s\n",
 			workers, ds.Len(), col.DedupHits(), col.Nacks(), ds.MultisetDigest())
@@ -159,6 +290,45 @@ func runChaos(args []string) {
 		if live.batchClaims, err = pass.ClaimsJSON(); err != nil {
 			log.Fatalf("cellcheck chaos: batch claims: %v", err)
 		}
+
+		if *restart {
+			// Close the store (sealing the tail), download every segment
+			// over HTTP, and rebuild the dataset from the raw frames: the
+			// durable bytes must reproduce the stored multiset and the
+			// batch figures bit-for-bit.
+			if err := st.Close(); err != nil {
+				log.Fatalf("cellcheck chaos: store close: %v", err)
+			}
+			live.storedEvents = ds.Len()
+			live.storedDigest = ds.MultisetDigest()
+			segDs := trace.NewDataset()
+			replay := trace.ReplayInto(segDs)
+			var idx []trace.SegmentInfo
+			if err := json.Unmarshal(liveFetch(srv, "/api/segments"), &idx); err != nil {
+				log.Fatalf("cellcheck chaos: segment index: %v", err)
+			}
+			for _, info := range idx {
+				raw := liveFetch(srv, fmt.Sprintf("/api/segments/data?id=%d", info.ID))
+				br := bufio.NewReader(bytes.NewReader(raw))
+				for {
+					if _, err := br.Peek(1); err == io.EOF {
+						break
+					}
+					b, _, _, err := trace.ReadBatchAny(br)
+					if err != nil {
+						log.Fatalf("cellcheck chaos: segment %d decode: %v", info.ID, err)
+					}
+					replay(b)
+				}
+			}
+			live.segEvents = segDs.Len()
+			live.segDigest = segDs.MultisetDigest()
+			segIn := analysis.FromResult(res)
+			segIn.Dataset = segDs
+			if live.segFigures, err = analysis.NewPass(segIn).FiguresJSON(core.Catalogue()); err != nil {
+				log.Fatalf("cellcheck chaos: segment figures: %v", err)
+			}
+		}
 		return res, live
 	}
 
@@ -173,6 +343,9 @@ func runChaos(args []string) {
 		}
 		checks = append(checks, ingestInvariants(res, res1)...)
 		checks = append(checks, streamingInvariants(live, live1)...)
+		if *restart {
+			checks = append(checks, restartInvariants(live, live1)...)
+		}
 	}
 	failures := 0
 	for _, c := range checks {
@@ -199,7 +372,8 @@ type chaosCheck struct {
 
 // liveRun captures one faulted upload run's live-analysis observations:
 // how many mid-run queries the live endpoints answered, the post-drain
-// streaming bytes, and the batch bytes they must equal.
+// streaming bytes, and the batch bytes they must equal. With -restart it
+// also records the kill/reboot and the segment-store round trip.
 type liveRun struct {
 	queries      int
 	resynced     bool
@@ -208,6 +382,16 @@ type liveRun struct {
 	claims       []byte
 	batchFigures []byte
 	batchClaims  []byte
+
+	// -restart observations.
+	restarted    bool
+	killedAt     int // events admitted when the collector was killed
+	segQueries   int // mid-run /api/segments responses while ingest ran
+	storedEvents int
+	storedDigest trace.Digest
+	segEvents    int // events rebuilt from downloaded segment frames
+	segDigest    trace.Digest
+	segFigures   []byte
 }
 
 // liveFetch GETs one live endpoint, returning the body (nil on error —
@@ -257,6 +441,42 @@ func streamingInvariants(live, live1 *liveRun) []chaosCheck {
 			pass: bytes.Equal(live.figures, live1.figures) && bytes.Equal(live.claims, live1.claims),
 			detail: fmt.Sprintf("workers=N: %dB; workers=1: %dB",
 				len(live.figures), len(live1.figures)),
+		},
+	}
+}
+
+// restartInvariants is invariant I6, checked on -restart runs: the kill
+// and reboot must actually have happened mid-campaign (in both worker
+// arms — otherwise the cross-restart exactly-once claim is vacuous), the
+// segment API must have answered queries while ingest was live, and the
+// dataset rebuilt from the downloaded segment frames must reproduce the
+// stored multiset and the batch figures byte-for-byte. Together with
+// I4/I5 — which run on the same datasets — this is exactly-once across
+// SIGKILL plus reboot-from-disk.
+func restartInvariants(live, live1 *liveRun) []chaosCheck {
+	return []chaosCheck{
+		{
+			id:   "I6/restart-fired",
+			text: "the collector was killed mid-campaign and rebooted from its store",
+			pass: live.restarted && live1.restarted && live.killedAt > 0 && live1.killedAt > 0,
+			detail: fmt.Sprintf("workers=N killed at %d events; workers=1 killed at %d",
+				live.killedAt, live1.killedAt),
+		},
+		{
+			id:     "I6/segments-live",
+			text:   "the segment index answered queries while ingest continued",
+			pass:   live.segQueries > 0 && live1.segQueries > 0,
+			detail: fmt.Sprintf("mid-run segment queries: workers=N %d, workers=1 %d", live.segQueries, live1.segQueries),
+		},
+		{
+			id:   "I6/segments-batch-equal",
+			text: "segments downloaded over HTTP reproduce the stored multiset and batch figures",
+			pass: live.segEvents == live.storedEvents && live.segDigest == live.storedDigest &&
+				live1.segEvents == live1.storedEvents && live1.segDigest == live1.storedDigest &&
+				len(live.segFigures) > 0 && bytes.Equal(live.segFigures, live.batchFigures) &&
+				bytes.Equal(live1.segFigures, live1.batchFigures),
+			detail: fmt.Sprintf("segments=%d events digest=%s stored=%d digest=%s figures=%dB",
+				live.segEvents, live.segDigest, live.storedEvents, live.storedDigest, len(live.segFigures)),
 		},
 	}
 }

@@ -10,6 +10,7 @@
 //	cellcheck -in run.snap.gz
 //	cellcheck chaos                          # bundled BS-blackout campaign
 //	cellcheck chaos -network                 # + transport faults, exactly-once invariant I4
+//	cellcheck chaos -network -restart        # + mid-campaign collector SIGKILL/reboot, invariant I6
 //	cellcheck chaos -faults campaign.json -devices 3000
 package main
 

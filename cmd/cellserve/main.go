@@ -72,6 +72,7 @@ func main() {
 		withPprof   = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 		live        = flag.Bool("live", false, "run an in-process upload collector and serve live streaming figures instead of a snapshot")
 		colListen   = flag.String("collector", "127.0.0.1:9230", "upload collector listen address (live mode)")
+		storeDir    = flag.String("store-dir", "", "segment store directory for the live collector (live mode; empty: in-memory only)")
 		ctxPath     = flag.String("context", "", "snapshot providing population/dwell/transition context for live figures")
 		drainGrace  = flag.Duration("drain-grace", 10*time.Second, "how long in-flight uploads may finish after SIGINT/SIGTERM (live mode)")
 		liveBuckets = flag.Int("live-buckets", 0, "sliding-window bucket count (0: default 60)")
@@ -80,7 +81,7 @@ func main() {
 	flag.Parse()
 
 	if *live {
-		runLive(*listen, *colListen, *ctxPath, *drainGrace, *liveBuckets, *liveBucket, *withPprof)
+		runLive(*listen, *colListen, *storeDir, *ctxPath, *drainGrace, *liveBuckets, *liveBucket, *withPprof)
 		return
 	}
 
@@ -161,8 +162,10 @@ func main() {
 
 // runLive serves streaming analysis off an in-process upload collector:
 // devices (or cellsim shards with -upload) point at colAddr, and every
-// admitted batch feeds the live accumulators behind the dedup gate.
-func runLive(listen, colAddr, ctxPath string, drainGrace time.Duration, buckets int, bucket time.Duration, withPprof bool) {
+// admitted batch feeds the live accumulators behind the dedup gate. With
+// a store directory, admitted batches are crash-durable and the segment
+// index is queryable at /api/segments while ingest continues.
+func runLive(listen, colAddr, storeDir, ctxPath string, drainGrace time.Duration, buckets int, bucket time.Duration, withPprof bool) {
 	ds := trace.NewDataset()
 	ds.ExposeSize()
 
@@ -179,7 +182,29 @@ func runLive(listen, colAddr, ctxPath string, drainGrace time.Duration, buckets 
 		WindowBuckets: buckets,
 		WindowBucket:  bucket,
 	})
-	col, err := trace.NewCollectorWith(colAddr, ds, trace.CollectorOptions{OnAdmit: eng.Ingest})
+	opt := trace.CollectorOptions{OnAdmit: eng.Ingest}
+	var store *trace.SegStore
+	if storeDir != "" {
+		replay := trace.ReplayInto(ds)
+		var err error
+		store, err = trace.OpenSegStore(storeDir, trace.SegStoreOptions{}, func(b *trace.Batch) {
+			replay(b)
+			eng.Ingest(b.Events)
+		})
+		if err != nil {
+			log.Fatalf("cellserve: store: %v", err)
+		}
+		opt.Store = store
+		if ds.Len() > 0 {
+			if err := eng.WaitIdle(time.Minute); err != nil {
+				log.Printf("cellserve: live replay: %v", err)
+			}
+			eng.Sync(in)
+			fmt.Printf("replayed %d events from %s\n", ds.Len(), storeDir)
+		}
+		ds.ExposeSize()
+	}
+	col, err := trace.NewCollectorWith(colAddr, ds, opt)
 	if err != nil {
 		log.Fatalf("cellserve: collector: %v", err)
 	}
@@ -187,6 +212,9 @@ func runLive(listen, colAddr, ctxPath string, drainGrace time.Duration, buckets 
 	mux := http.NewServeMux()
 	analysis.NewLiveAPI(eng, core.Catalogue()).Routes(mux)
 	trace.NewQueryAPI(ds).Routes(mux)
+	if store != nil {
+		trace.NewStoreAPI(store).Routes(mux)
+	}
 	mux.Handle("/metrics", metrics.Handler())
 	if withPprof {
 		metrics.RegisterPprof(mux)
@@ -213,6 +241,11 @@ func runLive(listen, colAddr, ctxPath string, drainGrace time.Duration, buckets 
 	}
 	if eng.Sync(in) {
 		log.Printf("cellserve: live: resynced accumulators from dataset")
+	}
+	if store != nil {
+		if err := store.Close(); err != nil {
+			log.Printf("cellserve: store close: %v", err)
+		}
 	}
 	eng.Close()
 	srv.Close()

@@ -1,17 +1,32 @@
 // Command collector runs the backend trace collector: a TCP server that
 // receives compressed failure-event batches from devices (or cellsim
-// shards with -upload) and periodically persists the dataset.
+// shards with -upload) and makes every admitted batch crash-durable in
+// an append-only segment store before acknowledging it.
+//
+// The store lives under -store-dir: admitted batches are appended as v3
+// wire frames to fixed-size segment files (rolled at -segment-size,
+// sealed segments immutable), and a checkpoint of the per-device
+// sequence high-water marks is written every -checkpoint alongside them.
+// On boot the collector replays the store — sealed segments verbatim, a
+// torn tail frame truncated away — so a restarted process resumes with
+// the full dataset and the dedup marks of everything it ever acked:
+// devices retrying batches whose acks were lost by a crash are deduped,
+// not double-stored. Acks are written only after the durable append, so
+// a batch acknowledged to a device can never be lost by a crash.
 //
 // A side HTTP listener exports runtime metrics (collector batch/byte
-// counters, dataset size, and the fleet/monitor families when shards
-// run in-process) at /metrics in Prometheus text exposition (append
-// ?format=json for the JSON dump); -pprof additionally mounts the
-// net/http/pprof handlers under /debug/pprof/. With -live, admitted
-// batches additionally feed the streaming analysis engine and the same
-// listener serves /api/live/figures, /api/live/claims, /api/live/window
-// and /api/live/status — live figures that, post-drain, are
-// byte-identical to `cellanalyze -figures-json` over the persisted
-// dataset.
+// counters, dataset size, segment-store appends/seals/checkpoints) at
+// /metrics in Prometheus text exposition (append ?format=json for the
+// JSON dump); -pprof additionally mounts the net/http/pprof handlers
+// under /debug/pprof/. The same listener serves the segment store
+// read-only: /api/segments (the segment index), /api/segments/events
+// (decoded rows from a sealed segment), and /api/segments/data (raw v3
+// frames) — all reading immutable sealed files, so queries never block
+// ingest. With -live, admitted batches additionally feed the streaming
+// analysis engine and the listener serves /api/live/figures,
+// /api/live/claims, /api/live/window and /api/live/status — live
+// figures that, post-drain, are byte-identical to
+// `cellanalyze -figures-json` over the stored events.
 //
 // The collector speaks all three wire dialects, distinguished by the
 // frame's first byte: legacy length-prefixed gob batches (one-byte
@@ -20,23 +35,26 @@
 // batch sequence number, with per-device dedup making retried uploads
 // idempotent. Admission is sharded by device (-admit-shards) so
 // concurrent connections do not serialize on one dedup lock.
-// -max-conns bounds concurrent uploads (excess connections are shed
-// with a nack carrying a retry-after hint) and -read-timeout reclaims
-// connections from silent devices.
+// -max-conns bounds concurrent uploads; excess connections are shed in
+// their own dialect (a retry-after nack for v2/v3 clients, a bare close
+// for legacy ones) and -read-timeout reclaims connections from silent
+// devices.
 //
-// On SIGINT/SIGTERM the collector shuts down cleanly: the persist
-// ticker stops, the TCP listener closes, and in-flight uploads get
-// -drain-grace to finish at a batch boundary (every batch acked before
-// the deadline is in the final persist); only then does the final
-// persist run — so no acknowledged batch can race past the last flush.
+// On SIGINT/SIGTERM the collector shuts down cleanly: the TCP listener
+// closes and in-flight uploads get -drain-grace to finish at a batch
+// boundary; then the store seals its tail segment and writes a final
+// checkpoint. A SIGKILL instead leaves at most one torn, unacked frame
+// — which boot-time replay truncates and the device's retry restores.
 //
 // Usage:
 //
-//	collector -listen 127.0.0.1:9230 -o dataset.gob.gz
+//	collector -listen 127.0.0.1:9230 -store-dir collector-store
+//	collector -segment-size 8388608 -checkpoint 2s
 //	collector -max-conns 512 -read-timeout 90s -drain-grace 10s
 //	collector -http 127.0.0.1:9231 -pprof
 //	collector -live -live-context run.snap.gz
 //	curl localhost:9231/metrics
+//	curl localhost:9231/api/segments
 //	curl localhost:9231/api/live/figures
 package main
 
@@ -66,13 +84,14 @@ func main() {
 	log.SetFlags(0)
 	var (
 		listen      = flag.String("listen", "127.0.0.1:9230", "listen address")
-		out         = flag.String("o", "dataset.gob.gz", "dataset output path")
-		interval    = flag.Duration("flush", 30*time.Second, "persist interval")
-		maxConns    = flag.Int("max-conns", 0, "max concurrently served upload connections; excess is shed with a retry-after nack (0: default 256)")
+		storeDir    = flag.String("store-dir", "collector-store", "segment store directory (created if missing; replayed on boot)")
+		segSize     = flag.Int64("segment-size", 0, "bytes after which the active segment seals and a new one opens (0: default 8 MiB)")
+		checkpoint  = flag.Duration("checkpoint", 0, "high-water-mark checkpoint cadence (0: default 2s)")
+		maxConns    = flag.Int("max-conns", 0, "max concurrently served upload connections; excess is shed in its own dialect (0: default 256)")
 		admitShards = flag.Int("admit-shards", 0, "device-keyed admit shards (dedup map, byte accounting, latency sketch); 0: default")
 		readTimeout = flag.Duration("read-timeout", 0, "per-read idle deadline on upload connections (0: default 2m)")
 		drainGrace  = flag.Duration("drain-grace", 10*time.Second, "how long in-flight uploads may finish after SIGINT/SIGTERM")
-		httpAddr    = flag.String("http", "127.0.0.1:9231", "metrics HTTP listen address (empty to disable)")
+		httpAddr    = flag.String("http", "127.0.0.1:9231", "metrics/query HTTP listen address (empty to disable)")
 		withPprof   = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/ on the metrics listener")
 		live        = flag.Bool("live", false, "stream admitted events into live analysis accumulators and serve /api/live/* on the HTTP listener")
 		liveContext = flag.String("live-context", "", "snapshot whose population/dwell/transition context feeds denominator-based live figures")
@@ -109,11 +128,42 @@ func main() {
 		opt.OnAdmit = eng.Ingest
 	}
 
+	// Boot-time replay: rebuild the dataset (and, in live mode, the
+	// streaming accumulators) from the store before accepting uploads.
+	onBatch := trace.ReplayInto(ds)
+	if eng != nil {
+		replay := onBatch
+		onBatch = func(b *trace.Batch) {
+			replay(b)
+			eng.Ingest(b.Events)
+		}
+	}
+	store, err := trace.OpenSegStore(*storeDir, trace.SegStoreOptions{
+		SegmentSize: *segSize,
+		Checkpoint:  *checkpoint,
+	}, onBatch)
+	if err != nil {
+		log.Fatalf("collector: store: %v", err)
+	}
+	opt.Store = store
+	if eng != nil && ds.Len() > 0 {
+		// Settle the replayed backlog; if the bounded queue shed any of
+		// it, rebuild the accumulators from the authoritative dataset.
+		if err := eng.WaitIdle(time.Minute); err != nil {
+			log.Printf("collector: live replay: %v", err)
+		}
+		eng.Sync(liveIn)
+	}
+	ds.ExposeSize()
+	if n := ds.Len(); n > 0 {
+		fmt.Printf("replayed %d events from %s\n", n, *storeDir)
+	}
+
 	col, err := trace.NewCollectorWith(*listen, ds, opt)
 	if err != nil {
 		log.Fatalf("collector: %v", err)
 	}
-	fmt.Printf("collector listening on %s, writing %s every %v\n", col.Addr(), *out, *interval)
+	fmt.Printf("collector listening on %s, storing segments under %s\n", col.Addr(), *storeDir)
 
 	var httpSrv *http.Server
 	if *httpAddr != "" {
@@ -122,6 +172,7 @@ func main() {
 		if *withPprof {
 			metrics.RegisterPprof(mux)
 		}
+		trace.NewStoreAPI(store).Routes(mux)
 		if eng != nil {
 			analysis.NewLiveAPI(eng, core.Catalogue()).Routes(mux)
 			trace.NewQueryAPI(ds).Routes(mux)
@@ -132,7 +183,7 @@ func main() {
 				log.Printf("collector: metrics http: %v", err)
 			}
 		}()
-		fmt.Printf("metrics on http://%s/metrics\n", *httpAddr)
+		fmt.Printf("metrics on http://%s/metrics, segments on http://%s/api/segments\n", *httpAddr, *httpAddr)
 		if eng != nil {
 			fmt.Printf("live figures on http://%s/api/live/figures\n", *httpAddr)
 		}
@@ -140,50 +191,30 @@ func main() {
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
-	tick := time.NewTicker(*interval)
-	defer tick.Stop()
+	<-stop
 
-	persist := func() {
-		if err := ds.SaveFile(*out); err != nil {
-			log.Printf("collector: persist: %v", err)
-			return
-		}
-		batches, rx := col.Stats()
-		fmt.Printf("persisted %d events (%d batches, ~%d bytes received, %d dedup hits, %d nacks)\n",
-			ds.Len(), batches, rx, col.DedupHits(), col.Nacks())
+	// Shutdown order matters: stop accepting, give in-flight uploads the
+	// grace window to conclude at a batch boundary (Drain waits for
+	// them), settle the streaming side, and close the store last — the
+	// sealed segments then provably contain every acknowledged batch.
+	if err := col.Drain(*drainGrace); err != nil {
+		log.Printf("collector: drain: %v", err)
 	}
-
-	for {
-		select {
-		case <-tick.C:
-			persist()
-		case <-stop:
-			// Shutdown order matters: stop the ticker, stop accepting,
-			// give in-flight uploads the grace window to conclude at a
-			// batch boundary (Drain waits for them), and persist last —
-			// the final snapshot then provably contains every
-			// acknowledged batch.
-			tick.Stop()
-			if err := col.Drain(*drainGrace); err != nil {
-				log.Printf("collector: drain: %v", err)
-			}
-			if eng != nil {
-				// Post-drain, settle the streaming side: apply queued
-				// chunks, then rebuild from the (authoritative) dataset if
-				// anything was shed — the final live figures now equal a
-				// batch pass over the persisted dataset.
-				if err := eng.WaitIdle(*drainGrace); err != nil {
-					log.Printf("collector: live: %v", err)
-				}
-				if eng.Sync(liveIn) {
-					log.Printf("collector: live: resynced accumulators from dataset")
-				}
-			}
-			persist()
-			if httpSrv != nil {
-				httpSrv.Close()
-			}
-			return
+	if eng != nil {
+		if err := eng.WaitIdle(*drainGrace); err != nil {
+			log.Printf("collector: live: %v", err)
 		}
+		if eng.Sync(liveIn) {
+			log.Printf("collector: live: resynced accumulators from dataset")
+		}
+	}
+	if err := store.Close(); err != nil {
+		log.Printf("collector: store close: %v", err)
+	}
+	batches, rx := col.Stats()
+	fmt.Printf("stored %d events across %d segments (%d batches, ~%d bytes received, %d dedup hits, %d nacks)\n",
+		ds.Len(), len(store.Segments()), batches, rx, col.DedupHits(), col.Nacks())
+	if httpSrv != nil {
+		httpSrv.Close()
 	}
 }

@@ -17,9 +17,12 @@ import (
 // shedding and drain paths quickly.
 type CollectorOptions struct {
 	// MaxConns caps concurrently served connections. A connection
-	// arriving past the cap is shed: it gets a nack reply carrying
-	// RetryAfter and is closed without reading a byte, so overload never
-	// grows the goroutine count unboundedly. <= 0 uses 256.
+	// arriving past the cap is shed: the shed handshake peeks the first
+	// frame byte to learn the client's dialect, replies with a nack
+	// carrying RetryAfter when the dialect can parse one (v2/v3), and
+	// closes — so overload never grows the serve-goroutine count
+	// unboundedly and legacy clients never see unparseable reply bytes.
+	// <= 0 uses 256.
 	MaxConns int
 	// ReadTimeout is the per-read idle deadline on a served connection.
 	// A device that goes silent mid-connection (suspended phone, dead
@@ -42,6 +45,13 @@ type CollectorOptions struct {
 	// DeviceID across shards, so concurrent connections admit without
 	// contending on one mutex. <= 0 uses 16 (matching DefaultShards).
 	AdmitShards int
+	// Store, when set, makes admitted batches crash-durable: every fresh
+	// batch is appended to the segment store before its ack is written,
+	// and the store's replayed high-water marks seed the dedup gate at
+	// construction — a collector rebooted from disk re-acks retried
+	// batches instead of double-storing them. A store append failure
+	// drops the connection unacked, so the device's retry re-delivers.
+	Store *SegStore
 }
 
 func (o CollectorOptions) withDefaults() CollectorOptions {
@@ -69,7 +79,10 @@ func (o CollectorOptions) withDefaults() CollectorOptions {
 // (DeviceID, Seq) and the collector remembers, per device, the highest
 // acknowledged sequence number. A batch re-sent after a lost ack is
 // acknowledged again without re-appending, so retries never skew the
-// dataset (see the wire-protocol comment in wire.go).
+// dataset (see the wire-protocol comment in wire.go). With a SegStore
+// attached the marks survive the process: acks are written only after
+// the batch is durably appended, and a rebooted collector replays the
+// store to restore both the dataset and the dedup marks.
 //
 // The admit path is sharded by DeviceID: dedup marks, accounting, and
 // quantile sketches live in opt.AdmitShards independent shards, and the
@@ -85,10 +98,12 @@ type Collector struct {
 	// mu guards connection lifecycle only; admit-path state is sharded.
 	mu         sync.Mutex
 	conns      map[net.Conn]struct{}
+	shed       map[net.Conn]struct{} // over-cap conns in their shed handshake
 	nacks      int64
 	closed     bool
 	draining   bool
 	drainUntil time.Time
+	drainDone  chan struct{} // non-nil once Drain starts; closed when it finishes
 
 	shards []collectorShard
 	wg     sync.WaitGroup
@@ -99,13 +114,38 @@ type Collector struct {
 // devices that hash to the same shard.
 type collectorShard struct {
 	mu        sync.Mutex
-	lastSeq   map[uint64]uint64 // per-device acked high-water mark
+	lastSeq   map[uint64]uint64         // per-device acked (durable) high-water mark
+	pending   map[uint64]*pendingAppend // per-device in-flight durable append
 	batches   int
 	rxBytes   int64
 	dedupHits int64
 	quantiles *stats.QuantileSet
 	_         [32]byte // pad to keep hot shard state off shared cache lines
 }
+
+// pendingAppend tracks one in-flight durable append. The high-water mark
+// only advances once the append has landed (ack ⇒ durable), so a
+// duplicate arriving while the original is still being persisted can
+// neither be re-appended (the pending entry gates it) nor be acked early
+// (the duplicate's connection parks on done and inherits the outcome).
+type pendingAppend struct {
+	seq  uint64
+	done chan struct{}
+	err  error
+}
+
+// admitDecision is the outcome of the dedup gate for one batch.
+type admitDecision int
+
+const (
+	// admitFresh: first sight of this batch — persist, append, then ack.
+	admitFresh admitDecision = iota
+	// admitDup: a duplicate of a durably stored batch — ack immediately.
+	admitDup
+	// admitWait: a duplicate of a batch whose durable append is still in
+	// flight on another connection — wait for its outcome before acking.
+	admitWait
+)
 
 // NewCollector starts a collector on addr (e.g. "127.0.0.1:0") feeding ds
 // with default options.
@@ -128,6 +168,7 @@ func NewCollectorWith(addr string, ds *Dataset, opt CollectorOptions) (*Collecto
 		ds:     ds,
 		opt:    opt,
 		conns:  make(map[net.Conn]struct{}),
+		shed:   make(map[net.Conn]struct{}),
 		shards: make([]collectorShard, opt.AdmitShards),
 	}
 	for i := range c.shards {
@@ -137,7 +178,16 @@ func NewCollectorWith(addr string, ds *Dataset, opt CollectorOptions) (*Collecto
 			return nil, err
 		}
 		c.shards[i].lastSeq = make(map[uint64]uint64)
+		c.shards[i].pending = make(map[uint64]*pendingAppend)
 		c.shards[i].quantiles = qs
+	}
+	// Seed the dedup gate from the store's replayed high-water marks: a
+	// batch acked before the previous process died dedups here instead of
+	// being double-stored.
+	if opt.Store != nil {
+		for dev, seq := range opt.Store.Marks() {
+			c.shardFor(dev).lastSeq[dev] = seq
+		}
 	}
 	c.wg.Add(1)
 	go c.acceptLoop()
@@ -180,7 +230,8 @@ func (c *Collector) DedupHits() int64 {
 	return n
 }
 
-// Nacks returns how many connections were shed with a nack reply.
+// Nacks returns how many connections were shed over the connection cap
+// (versioned clients get a retry-after nack; legacy clients a bare close).
 func (c *Collector) Nacks() int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -210,18 +261,24 @@ func (c *Collector) DurationQuantiles() (p50, p90, p99 float64) {
 // Close stops the collector and waits for in-flight connections. Open
 // connections are force-closed: a serve goroutine parked in ReadBatch on
 // an idle client would otherwise keep Close waiting forever. Use Drain
-// for the graceful variant that acks in-flight batches first.
+// for the graceful variant that acks in-flight batches first. A Close
+// that arrives while a Drain is in progress waits for the drain instead
+// of force-closing: cutting connections mid-ack during Drain's wg.Wait
+// window would silently void the drain guarantee.
 func (c *Collector) Close() error {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		return nil
 	}
-	c.closed = true
-	open := make([]net.Conn, 0, len(c.conns))
-	for conn := range c.conns {
-		open = append(open, conn)
+	if c.draining {
+		done := c.drainDone
+		c.mu.Unlock()
+		<-done
+		return nil
 	}
+	c.closed = true
+	open := c.openConnsLocked()
 	c.mu.Unlock()
 	err := c.ln.Close()
 	for _, conn := range open {
@@ -231,42 +288,93 @@ func (c *Collector) Close() error {
 	return err
 }
 
+// openConnsLocked snapshots every live connection — served and shed —
+// for a force-close pass. Caller holds c.mu.
+func (c *Collector) openConnsLocked() []net.Conn {
+	open := make([]net.Conn, 0, len(c.conns)+len(c.shed))
+	for conn := range c.conns {
+		open = append(open, conn)
+	}
+	for conn := range c.shed {
+		open = append(open, conn)
+	}
+	return open
+}
+
 // Drain shuts the collector down gracefully: the listener closes so no
 // new connection is admitted, and every open connection gets up to grace
 // to finish (and be acked for) the batch it is currently sending before
 // its serve loop exits at the next frame boundary. Only after all serve
 // goroutines return does Drain come back — so every acknowledged batch is
-// in the dataset, and nothing acked was cut off mid-store.
+// in the dataset, and nothing acked was cut off mid-store. A concurrent
+// Drain or Close waits for the first Drain to finish.
 func (c *Collector) Drain(grace time.Duration) error {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		return nil
 	}
+	if c.draining {
+		done := c.drainDone
+		c.mu.Unlock()
+		<-done
+		return nil
+	}
 	c.draining = true
 	c.drainUntil = time.Now().Add(grace)
-	open := make([]net.Conn, 0, len(c.conns))
+	done := make(chan struct{})
+	c.drainDone = done
+	// Re-arm deadlines on connections already parked in a read, so idle
+	// ones wake at the drain deadline instead of their idle timeout. This
+	// happens under c.mu — the same mutex armDeadline holds across its
+	// decision and its arming — so a serve goroutine that read
+	// draining=false can no longer overwrite the drain deadline with the
+	// full idle timeout afterwards.
 	for conn := range c.conns {
-		open = append(open, conn)
+		conn.SetReadDeadline(c.drainUntil)
 	}
-	until := c.drainUntil
+	// Shed connections carry nothing admitted; close them now so the
+	// drain never waits out a shed handshake deadline.
+	for conn := range c.shed {
+		conn.Close()
+	}
 	c.mu.Unlock()
 	err := c.ln.Close()
-	// Re-arm deadlines on connections already parked in a read, so idle
-	// ones wake at the drain deadline instead of their idle timeout.
-	for _, conn := range open {
-		conn.SetReadDeadline(until)
-	}
 	c.wg.Wait()
 	c.mu.Lock()
 	c.closed = true
 	c.mu.Unlock()
+	close(done)
 	return err
 }
 
+// Kill force-closes the listener and every connection immediately — no
+// grace, no acks, nothing flushed — approximating SIGKILL for the
+// crash/restart harness. It waits for the serve goroutines only so the
+// caller can safely reopen the store directory in-process; a batch
+// mid-admit at the kill either completed its durable append (its retry
+// will be deduped after replay) or did not (its retry will be stored) —
+// exactly the two outcomes a real SIGKILL leaves on disk. Pair with
+// SegStore.Kill to also fail in-flight appends.
+func (c *Collector) Kill() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	open := c.openConnsLocked()
+	c.mu.Unlock()
+	c.ln.Close()
+	for _, conn := range open {
+		conn.Close()
+	}
+	c.wg.Wait()
+}
+
 // admitConn registers a new connection, enforcing the connection cap.
-// Over the cap the connection is shed: one nack reply, then close. It
-// reports whether the caller should serve the connection.
+// Over the cap the connection is handed to a shed goroutine and refused.
+// It reports whether the caller should serve the connection.
 func (c *Collector) admitConn(conn net.Conn) bool {
 	c.mu.Lock()
 	if c.closed || c.draining {
@@ -277,17 +385,44 @@ func (c *Collector) admitConn(conn net.Conn) bool {
 	if len(c.conns) >= c.opt.MaxConns {
 		c.nacks++
 		retry := c.opt.RetryAfter
+		c.shed[conn] = struct{}{}
+		c.wg.Add(1)
 		c.mu.Unlock()
 		mColNacks.Inc()
-		conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
-		writeReply(conn, batchNack, 0, retry)
-		conn.Close()
+		go c.shedConn(conn, retry)
 		return false
 	}
 	c.conns[conn] = struct{}{}
 	mColOpenConns.Set(float64(len(c.conns)))
 	c.mu.Unlock()
 	return true
+}
+
+// shedConn sheds one over-cap connection in its own dialect. The nack
+// reply is 13 bytes only the versioned framings can parse — a legacy v1
+// client would misread them as a garbage length prefix — so the shed
+// path first reads the client's opening frame byte: 0xA2/0xA3 name a
+// versioned dialect and get the retry-after nack; anything else is v1
+// and is shed by close alone (the legacy uploader treats the EOF as a
+// retriable failure). A client that sends nothing within the handshake
+// deadline is closed silently.
+func (c *Collector) shedConn(conn net.Conn, retry time.Duration) {
+	defer c.wg.Done()
+	defer conn.Close()
+	defer func() {
+		c.mu.Lock()
+		delete(c.shed, conn)
+		c.mu.Unlock()
+	}()
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	var first [1]byte
+	if _, err := io.ReadFull(conn, first[:]); err != nil {
+		return
+	}
+	if first[0] == versionV2 || first[0] == versionV3 {
+		conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+		writeReply(conn, batchNack, 0, retry)
+	}
 }
 
 func (c *Collector) untrack(conn net.Conn) {
@@ -317,12 +452,26 @@ func (c *Collector) acceptLoop() {
 	}
 }
 
+// armDeadlineHook, when non-nil, runs between armDeadline's drain-state
+// decision and its SetReadDeadline call — the seam of the historical
+// overwrite race, kept as a test hook so the regression test can force
+// the exact interleaving that used to lose the drain deadline.
+var armDeadlineHook func()
+
 // armDeadline sets the next read deadline: the idle timeout in steady
-// state, the drain deadline once Drain has been called.
+// state, the drain deadline once Drain has been called. Decision and
+// arming both happen under c.mu — the mutex Drain holds while re-arming
+// open connections — so a goroutine that decided "not draining", lost
+// the CPU, and then armed the full idle timeout over Drain's freshly-set
+// deadline (leaving wg.Wait parked for up to ReadTimeout past the grace)
+// can no longer interleave.
 func (c *Collector) armDeadline(conn net.Conn) {
 	c.mu.Lock()
+	defer c.mu.Unlock()
 	draining, until := c.draining, c.drainUntil
-	c.mu.Unlock()
+	if h := armDeadlineHook; h != nil {
+		h()
+	}
 	if draining {
 		conn.SetReadDeadline(until)
 		return
@@ -352,17 +501,36 @@ func (c *Collector) serve(conn net.Conn) {
 			return
 		}
 		versioned := dialect != DialectV1
-		fresh := c.admit(b, wire, versioned)
-		if fresh {
-			// Pin the append to the batch's DeviceID shard: deterministic
-			// placement, and two connections carrying different devices
-			// lock different dataset shards.
-			c.ds.AppendShard(int(b.DeviceID%uint64(c.ds.NumShards())), b.Events...)
-			mColBatches.Inc()
-			mColEvents.Add(int64(len(b.Events)))
-			mDatasetEvents.Set(float64(c.ds.Len()))
-			if c.opt.OnAdmit != nil {
-				c.opt.OnAdmit(b.Events)
+		dec, p := c.admit(b, wire, versioned)
+		switch dec {
+		case admitWait:
+			// Another connection is persisting this very batch. Ack only
+			// once that append is durable; if it failed, drop the
+			// connection unacked so the device keeps retrying.
+			<-p.done
+			if p.err != nil {
+				return
+			}
+		case admitFresh:
+			perr := c.persist(b)
+			if perr == nil {
+				// Pin the append to the batch's DeviceID shard:
+				// deterministic placement, and two connections carrying
+				// different devices lock different dataset shards.
+				c.ds.AppendShard(int(b.DeviceID%uint64(c.ds.NumShards())), b.Events...)
+				mColBatches.Inc()
+				mColEvents.Add(int64(len(b.Events)))
+				mDatasetEvents.Set(float64(c.ds.Len()))
+				if c.opt.OnAdmit != nil {
+					c.opt.OnAdmit(b.Events)
+				}
+			}
+			c.finishAdmit(b, p, perr)
+			if perr != nil {
+				// The batch is not durable: drop the connection without
+				// acking and let the device's retry re-deliver it.
+				mColDropped.Inc()
+				return
 			}
 		}
 		mColRxBytes.Add(int64(wire))
@@ -381,12 +549,13 @@ func (c *Collector) serve(conn net.Conn) {
 	}
 }
 
-// admit records a received batch and decides whether it is fresh. For
-// versioned batches the per-device high-water mark dedups retries; the
-// mark advances *before* the append so a concurrent retry of the same
-// batch on another connection can never double-append. Only the batch's
-// DeviceID shard is locked.
-func (c *Collector) admit(b *Batch, wire int, versioned bool) (fresh bool) {
+// admit runs a received batch through the dedup gate. For versioned
+// batches the per-device high-water mark dedups retries of durably
+// stored batches, and a pending entry gates retries of batches whose
+// durable append is still in flight: the mark itself only advances in
+// finishAdmit, once the append has landed, so an ack can never precede
+// durability. Only the batch's DeviceID shard is locked.
+func (c *Collector) admit(b *Batch, wire int, versioned bool) (admitDecision, *pendingAppend) {
 	sh := c.shardFor(b.DeviceID)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -395,13 +564,65 @@ func (c *Collector) admit(b *Batch, wire int, versioned bool) (fresh bool) {
 		if last, ok := sh.lastSeq[b.DeviceID]; ok && b.Seq <= last {
 			sh.dedupHits++
 			mColDedupHits.Inc()
-			return false
+			return admitDup, nil
 		}
-		sh.lastSeq[b.DeviceID] = b.Seq
+		if p := sh.pending[b.DeviceID]; p != nil && b.Seq <= p.seq {
+			sh.dedupHits++
+			mColDedupHits.Inc()
+			return admitWait, p
+		}
+		p := &pendingAppend{seq: b.Seq, done: make(chan struct{})}
+		sh.pending[b.DeviceID] = p
+		sh.batches++
+		for i := range b.Events {
+			sh.quantiles.Add(b.Events[i].Duration.Seconds())
+		}
+		return admitFresh, p
 	}
 	sh.batches++
 	for i := range b.Events {
 		sh.quantiles.Add(b.Events[i].Duration.Seconds())
 	}
-	return true
+	return admitFresh, nil
+}
+
+// persistHook, when non-nil, observes each fresh batch immediately
+// before its durable append — a test seam for holding an append in
+// flight while a duplicate delivery arrives on another connection.
+var persistHook func(*Batch)
+
+// persist makes b durable before it is acknowledged. Without a store
+// this is a no-op: the in-memory dataset is then the only copy, exactly
+// the pre-store behavior.
+func (c *Collector) persist(b *Batch) error {
+	if h := persistHook; h != nil {
+		h(b)
+	}
+	if c.opt.Store == nil {
+		return nil
+	}
+	return c.opt.Store.Append(b)
+}
+
+// finishAdmit publishes the outcome of a fresh batch's durable append:
+// on success the device's high-water mark advances (later duplicates ack
+// immediately), on failure it stays put so the retry is admitted as
+// fresh. Either way, connections parked on the pending entry are
+// released with the outcome. p is nil for unsequenced batches, which
+// carry no dedup state.
+func (c *Collector) finishAdmit(b *Batch, p *pendingAppend, err error) {
+	if p == nil {
+		return
+	}
+	sh := c.shardFor(b.DeviceID)
+	sh.mu.Lock()
+	if err == nil && b.Seq > sh.lastSeq[b.DeviceID] {
+		sh.lastSeq[b.DeviceID] = b.Seq
+	}
+	if sh.pending[b.DeviceID] == p {
+		delete(sh.pending, b.DeviceID)
+	}
+	p.err = err
+	sh.mu.Unlock()
+	close(p.done)
 }

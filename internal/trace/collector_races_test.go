@@ -1,0 +1,472 @@
+package trace
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDrainDeadlineSurvivesArmRace forces the historical overwrite race
+// through the armDeadlineHook seam: a serve goroutine reads
+// draining=false, parks at the seam, Drain runs its deadline pass, and
+// then the goroutine arms. Before the fix the arm happened outside the
+// mutex, so it overwrote the drain deadline with the full idle timeout
+// and Drain's wg.Wait sat until ReadTimeout (30s here — the test timed
+// out). With decision and arm under c.mu, Drain's pass is ordered after
+// the arm and the drain deadline wins.
+func TestDrainDeadlineSurvivesArmRace(t *testing.T) {
+	// Install the seam before the collector exists: goroutine creation is
+	// then the happens-before edge that publishes the hook to the serve
+	// loops.
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	armDeadlineHook = func() {
+		once.Do(func() {
+			close(entered)
+			<-release
+		})
+	}
+	defer func() { armDeadlineHook = nil }()
+
+	col, err := NewCollectorWith("127.0.0.1:0", NewDataset(), CollectorOptions{
+		ReadTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	conn, err := net.Dial("tcp", col.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	<-entered // the serve goroutine decided "not draining" and is parked pre-arm
+
+	drainErr := make(chan error, 1)
+	go func() { drainErr <- col.Drain(100 * time.Millisecond) }()
+	// Let Drain reach its deadline pass (it queues on c.mu, which the
+	// parked arm still holds), then release the arm.
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+
+	select {
+	case err := <-drainErr:
+		if err != nil {
+			t.Fatalf("Drain: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Drain hung: the idle timeout overwrote the drain deadline")
+	}
+}
+
+// TestCloseDuringDrainWaitsForAck interleaves Close with an in-progress
+// Drain while a batch is crossing the wire. The old Close force-closed
+// every connection immediately, cutting the half-sent frame and voiding
+// the drain guarantee; now it must wait for the drain, so the batch
+// completes, is stored, and is acked.
+func TestCloseDuringDrainWaitsForAck(t *testing.T) {
+	ds := NewDataset()
+	col, err := NewCollector("127.0.0.1:0", ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", col.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	frame, err := AppendBatchV3(nil, &Batch{DeviceID: 4, Seq: 1, Events: sampleEvents(6)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := len(frame) / 2
+	if _, err := conn.Write(frame[:half]); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		col.mu.Lock()
+		defer col.mu.Unlock()
+		return len(col.conns) == 1
+	})
+
+	drainErr := make(chan error, 1)
+	go func() { drainErr <- col.Drain(5 * time.Second) }()
+	waitFor(t, func() bool {
+		col.mu.Lock()
+		defer col.mu.Unlock()
+		return col.draining
+	})
+	closeErr := make(chan error, 1)
+	go func() { closeErr <- col.Close() }()
+	// Close must park behind the drain, not force-close the conn.
+	time.Sleep(100 * time.Millisecond)
+	select {
+	case err := <-closeErr:
+		t.Fatalf("Close returned (%v) while the drain was still in progress", err)
+	default:
+	}
+
+	if _, err := conn.Write(frame[half:]); err != nil {
+		t.Fatalf("connection cut mid-frame during drain: %v", err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	kind, seq, _, err := readReply(conn)
+	if err != nil || kind != batchAck || seq != 1 {
+		t.Fatalf("reply = kind 0x%02x seq %d err %v, want ack for seq 1", kind, seq, err)
+	}
+	conn.Close() // frame boundary: let the serve loop exit without waiting out the grace
+
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-drainErr:
+			if err != nil {
+				t.Fatalf("Drain: %v", err)
+			}
+		case err := <-closeErr:
+			if err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("Drain/Close did not both return")
+		}
+	}
+	if got := ds.Len(); got != 6 {
+		t.Fatalf("dataset has %d events after acked drain, want 6", got)
+	}
+}
+
+// TestShedHandshakeSpeaksEachDialect puts the collector over its
+// connection cap and probes the shed path in all three dialects: v2 and
+// v3 clients must receive the 13-byte retry-after nack, while a v1
+// client — which would misparse those bytes as a garbage length prefix —
+// must be shed by a bare close with zero reply bytes.
+func TestShedHandshakeSpeaksEachDialect(t *testing.T) {
+	col, err := NewCollectorWith("127.0.0.1:0", NewDataset(), CollectorOptions{
+		MaxConns:   1,
+		RetryAfter: 77 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+
+	hog, err := net.Dial("tcp", col.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hog.Close()
+	waitFor(t, func() bool {
+		col.mu.Lock()
+		defer col.mu.Unlock()
+		return len(col.conns) == 1
+	})
+
+	for _, version := range []byte{versionV3, versionV2} {
+		probe, err := net.Dial("tcp", col.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := probe.Write([]byte{version}); err != nil {
+			t.Fatal(err)
+		}
+		probe.SetReadDeadline(time.Now().Add(2 * time.Second))
+		kind, _, retryAfter, err := readReply(probe)
+		probe.Close()
+		if err != nil || kind != batchNack {
+			t.Fatalf("dialect 0x%02x: reply kind 0x%02x err %v, want nack", version, kind, err)
+		}
+		if retryAfter != 77*time.Millisecond {
+			t.Errorf("dialect 0x%02x: retry-after = %v, want 77ms", version, retryAfter)
+		}
+	}
+
+	// v1: the first byte of a legacy length prefix is <= 0x04. The shed
+	// reply would be unparseable, so the collector must just close.
+	legacy, err := net.Dial("tcp", col.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer legacy.Close()
+	if _, err := legacy.Write([]byte{0x00}); err != nil {
+		t.Fatal(err)
+	}
+	legacy.SetReadDeadline(time.Now().Add(2 * time.Second))
+	var buf [replyLen]byte
+	n, err := legacy.Read(buf[:])
+	if n != 0 || err != io.EOF {
+		t.Fatalf("legacy shed wrote %d reply bytes (err %v), want a bare close", n, err)
+	}
+	if got := col.Nacks(); got != 3 {
+		t.Errorf("Nacks = %d, want 3 (every dialect's shed counts)", got)
+	}
+}
+
+// TestMalformedV3FrameDropsConnUnacked feeds the collector a frame with
+// a valid v3 header and a garbage body: the connection must be dropped
+// with no reply bytes, the drop metric must move, and nothing may reach
+// the dataset.
+func TestMalformedV3FrameDropsConnUnacked(t *testing.T) {
+	before := mColDropped.Value()
+	ds := NewDataset()
+	col, err := NewCollector("127.0.0.1:0", ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+
+	conn, err := net.Dial("tcp", col.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// versionV3 ++ flags 0 ++ body len 4 ++ a varint that never terminates.
+	if _, err := conn.Write([]byte{versionV3, 0x00, 0, 0, 0, 4, 0xde, 0xad, 0xbe, 0xef}); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	var buf [replyLen]byte
+	n, err := conn.Read(buf[:])
+	if n != 0 || err != io.EOF {
+		t.Fatalf("collector replied %d bytes (err %v) to a malformed frame, want a bare close", n, err)
+	}
+	waitFor(t, func() bool { return mColDropped.Value() > before })
+	if ds.Len() != 0 {
+		t.Fatalf("dataset has %d events from a malformed frame", ds.Len())
+	}
+}
+
+// TestTruncatedFrameBackoffThenRestartRecovery is the uploader-side view
+// of the malformed-frame path, carried across a collector crash: a
+// truncated v3 frame fails the flush (backoff armed, drop counted, no
+// event lost), the collector is SIGKILLed and rebooted from its segment
+// store, and the uploader's retry then lands everything exactly once.
+func TestTruncatedFrameBackoffThenRestartRecovery(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenSegStore(dir, SegStoreOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := NewDataset()
+	col, err := NewCollectorWith("127.0.0.1:0", ds, CollectorOptions{Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := col.Addr()
+	dropBefore := mColDropped.Value()
+
+	up := NewUploader(addr, 7)
+	up.SetChaos(&scriptedChaos{faults: []UploadFaultClass{FaultTruncate}})
+	up.SetWiFi(true)
+	up.FlushThreshold = 100
+	events := sampleEvents(10)
+	var want Digest
+	for _, e := range events {
+		up.Record(e)
+		want.Add(EventDigest(&e))
+	}
+	if err := up.Flush(); err == nil {
+		t.Fatal("truncated send reported success")
+	}
+	if up.RetryDelay() <= 0 {
+		t.Error("failed flush did not arm the backoff timer")
+	}
+	if up.Pending() != 10 {
+		t.Fatalf("Pending = %d after truncated send, want 10 (no loss)", up.Pending())
+	}
+	waitFor(t, func() bool { return mColDropped.Value() > dropBefore })
+	if ds.Len() != 0 {
+		t.Fatalf("dataset has %d events from a truncated frame", ds.Len())
+	}
+
+	// Crash the collector and its store, then reboot from disk.
+	col.Kill()
+	st.Kill()
+	got := NewDataset()
+	st2, err := OpenSegStore(dir, SegStoreOptions{}, ReplayInto(got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if got.Len() != 0 {
+		t.Fatalf("replay produced %d events from a store that admitted nothing", got.Len())
+	}
+	col2, err := NewCollectorWith(addr, got, CollectorOptions{Store: st2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col2.Close()
+
+	if err := up.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return got.Len() == 10 })
+	if up.Pending() != 0 {
+		t.Errorf("Pending = %d after acked retry", up.Pending())
+	}
+	if d := got.MultisetDigest(); d != want {
+		t.Errorf("recovered multiset %s != recorded %s", d, want)
+	}
+}
+
+// TestDuplicateAckWaitsForDurableAppend holds a fresh batch's durable
+// append in flight (persistHook) while the same (device, seq) arrives on
+// a second connection. The duplicate must not be acked before the
+// original append lands — an early ack would let the device trim a batch
+// that a crash could still lose — and afterwards both connections are
+// acked while the batch is stored exactly once.
+func TestDuplicateAckWaitsForDurableAppend(t *testing.T) {
+	st, err := OpenSegStore(t.TempDir(), SegStoreOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	// Install the seam before the collector exists so goroutine creation
+	// publishes it to the serve loops.
+	hold := make(chan struct{})
+	entered := make(chan struct{})
+	var once sync.Once
+	persistHook = func(*Batch) {
+		once.Do(func() {
+			close(entered)
+			<-hold
+		})
+	}
+	defer func() { persistHook = nil }()
+
+	ds := NewDataset()
+	col, err := NewCollectorWith("127.0.0.1:0", ds, CollectorOptions{Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+
+	frame, err := AppendBatchV3(nil, &Batch{DeviceID: 9, Seq: 1, Events: sampleEvents(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := net.Dial("tcp", col.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if _, err := a.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	<-entered // A's append is in flight, unacked
+
+	b, err := net.Dial("tcp", col.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if _, err := b.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	// The duplicate must be parked, not acked, while the append pends.
+	b.SetReadDeadline(time.Now().Add(300 * time.Millisecond))
+	var peek [1]byte
+	var ne net.Error
+	if _, err := b.Read(peek[:]); !(errors.As(err, &ne) && ne.Timeout()) {
+		t.Fatalf("duplicate got a reply before the append was durable (read err %v)", err)
+	}
+
+	close(hold)
+	for name, conn := range map[string]net.Conn{"original": a, "duplicate": b} {
+		conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		kind, seq, _, err := readReply(conn)
+		if err != nil || kind != batchAck || seq != 1 {
+			t.Fatalf("%s reply = kind 0x%02x seq %d err %v, want ack for seq 1", name, kind, seq, err)
+		}
+	}
+	if got := ds.Len(); got != 5 {
+		t.Fatalf("dataset has %d events, want 5 (stored once)", got)
+	}
+	if col.DedupHits() != 1 {
+		t.Errorf("DedupHits = %d, want 1", col.DedupHits())
+	}
+	frames := 0
+	for _, info := range st.Segments() {
+		frames += info.Frames
+	}
+	if frames != 1 {
+		t.Errorf("store holds %d frames, want 1 (duplicate must not be appended)", frames)
+	}
+}
+
+// TestCollectorRestartFromStoreDedupsRetries is exactly-once across a
+// crash: an ack is lost after the batch became durable, the collector is
+// SIGKILLed, a new one boots from the replayed store on the same
+// address, and the device's retry must dedup against the replayed
+// high-water mark instead of double-storing.
+func TestCollectorRestartFromStoreDedupsRetries(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenSegStore(dir, SegStoreOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := NewDataset()
+	col, err := NewCollectorWith("127.0.0.1:0", ds, CollectorOptions{Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := col.Addr()
+
+	up := NewUploader(addr, 7)
+	up.SetChaos(&scriptedChaos{faults: []UploadFaultClass{FaultAckLoss}})
+	up.SetWiFi(true)
+	up.FlushThreshold = 100
+	events := sampleEvents(10)
+	var want Digest
+	for _, e := range events {
+		up.Record(e)
+		want.Add(EventDigest(&e))
+	}
+	if err := up.Flush(); !errors.Is(err, ErrAckLost) {
+		t.Fatalf("Flush error = %v, want ErrAckLost", err)
+	}
+	waitFor(t, func() bool { return ds.Len() == 10 })
+
+	col.Kill()
+	st.Kill()
+
+	got := NewDataset()
+	st2, err := OpenSegStore(dir, SegStoreOptions{}, ReplayInto(got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if got.Len() != 10 {
+		t.Fatalf("replayed %d events, want 10 (the durable batch)", got.Len())
+	}
+	if m := st2.Marks()[7]; m != 1 {
+		t.Fatalf("replayed mark = %d, want 1", m)
+	}
+	col2, err := NewCollectorWith(addr, got, CollectorOptions{Store: st2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col2.Close()
+
+	// The retry of the never-acked batch must dedup, not double-store.
+	if err := up.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if up.Pending() != 0 {
+		t.Errorf("Pending = %d after acked retry", up.Pending())
+	}
+	if got.Len() != 10 {
+		t.Fatalf("dataset has %d events after the retry, want exactly 10", got.Len())
+	}
+	if col2.DedupHits() != 1 {
+		t.Errorf("DedupHits = %d on the rebooted collector, want 1", col2.DedupHits())
+	}
+	if d := got.MultisetDigest(); d != want {
+		t.Errorf("multiset %s after restart != recorded %s", d, want)
+	}
+}

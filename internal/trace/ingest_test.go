@@ -145,13 +145,17 @@ func TestCollectorShedsOverCap(t *testing.T) {
 	}
 	defer hog.Close()
 	// Wait until the hog occupies the single slot; a shed shows up as a
-	// nack on a probe connection.
+	// nack on a probe connection. The probe must announce its dialect
+	// first — the shed handshake replies only to versioned clients.
 	waitFor(t, func() bool {
 		probe, err := net.Dial("tcp", col.Addr())
 		if err != nil {
 			return false
 		}
 		defer probe.Close()
+		if _, err := probe.Write([]byte{versionV3}); err != nil {
+			return false
+		}
 		probe.SetReadDeadline(time.Now().Add(time.Second))
 		kind, _, retryAfter, err := readReply(probe)
 		if err != nil || kind != batchNack {

@@ -20,7 +20,7 @@ var (
 	mColEvents = metrics.NewCounter("trace_collector_events_decoded_total",
 		"Events decoded out of accepted batches.")
 	mColDropped = metrics.NewCounter("trace_collector_batches_dropped_total",
-		"Connections dropped on a malformed or truncated batch read.")
+		"Connections dropped on a malformed or truncated batch read, or on a failed durable append.")
 	mColRxBytes = metrics.NewCounter("trace_collector_rx_bytes_total",
 		"Wire bytes received by collectors (length prefix plus compressed payload).")
 	mDatasetEvents = metrics.NewGauge("trace_dataset_events",
@@ -40,9 +40,21 @@ var (
 	mColDedupHits = metrics.NewCounter("trace_collector_dedup_hits_total",
 		"Re-sent batches acknowledged without re-appending (per-device seq dedup).")
 	mColNacks = metrics.NewCounter("trace_collector_nacks_total",
-		"Connections shed with a nack reply because the connection cap was reached.")
+		"Connections shed because the connection cap was reached (versioned dialects get a retry-after nack, legacy a close).")
 	mColOpenConns = metrics.NewGauge("trace_collector_open_connections",
 		"Connections currently served by collectors in this process.")
 	mHTTPEncodeErrors = metrics.NewCounter("trace_http_encode_errors_total",
 		"JSON encode failures while writing query-API responses (client gone or unmarshalable value).")
+	mSegAppends = metrics.NewCounter("trace_segstore_batches_appended_total",
+		"Batches durably appended to the collector's segment store.")
+	mSegBytes = metrics.NewCounter("trace_segstore_bytes_written_total",
+		"Frame bytes appended to segment files.")
+	mSegSealed = metrics.NewCounter("trace_segstore_segments_sealed_total",
+		"Segments sealed (made immutable) after crossing the size threshold or at close.")
+	mSegCheckpoints = metrics.NewCounter("trace_segstore_checkpoints_total",
+		"Mark/index checkpoints written (periodic, at seal, and at close).")
+	mSegReplayed = metrics.NewCounter("trace_segstore_batches_replayed_total",
+		"Batches replayed from segment files while reopening a store.")
+	mSegTruncated = metrics.NewCounter("trace_segstore_truncated_bytes_total",
+		"Torn-tail bytes dropped when reopening a store after a crash (always an unacked final frame).")
 )

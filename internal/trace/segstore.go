@@ -1,0 +1,570 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SegStore is the collector's crash-durable backing store: an append-only
+// directory of fixed-size segment files, each a sequence of v3 wire
+// frames (one frame per admitted batch, reusing the wirev3 encoder and
+// its pooled gzip state). The active segment receives appends; once it
+// crosses SegmentSize it is sealed — sealed segments are immutable and
+// can be read from disk without touching the append path. An in-memory
+// index maps (device, seq range) → segment for the /api/segments query
+// path, and per-device seq high-water marks are checkpointed alongside
+// the segments so a restarted collector re-acks retried batches instead
+// of double-storing them.
+//
+// Durability model: Append performs one direct unbuffered write per
+// frame, so once Append returns — and therefore before the collector
+// acks the batch — the frame has left the process (it survives SIGKILL
+// in the page cache; sealing additionally fsyncs the finished file).
+// A crash can leave at most a torn final frame in the active segment,
+// and a torn frame is by construction unacknowledged: OpenSegStore
+// truncates it away and the device's retry re-delivers it. Everything
+// before the tear decodes cleanly and is replayed, so the rebuilt marks
+// cover every batch that was ever acked — exactly-once storage holds
+// across the crash.
+type SegStore struct {
+	dir string
+	opt SegStoreOptions
+
+	mu            sync.Mutex
+	f             *os.File // active segment, opened O_APPEND
+	activeOff     int64
+	segs          []*segment        // id order; the last entry is the active segment
+	marks         map[uint64]uint64 // per-device acked seq high-water mark
+	sealedThrough uint64            // highest sealed segment id; sealed files are immutable forever
+	appends       int               // appends since the last checkpoint
+	truncated     int64             // torn-tail bytes dropped at open
+	closed        bool
+
+	cpStop chan struct{}
+	cpDone chan struct{}
+}
+
+// SegStoreOptions tunes the store. The zero value selects defaults.
+type SegStoreOptions struct {
+	// SegmentSize is the byte threshold past which the active segment is
+	// sealed and a new one opened. <= 0 uses 8 MiB.
+	SegmentSize int64
+	// Checkpoint is the cadence of the background mark/index checkpoint.
+	// The checkpoint is an accelerator, not a correctness requirement —
+	// replay rebuilds the marks from the frames themselves — so losing
+	// the window since the last checkpoint loses nothing. <= 0 uses 2s.
+	Checkpoint time.Duration
+}
+
+func (o SegStoreOptions) withDefaults() SegStoreOptions {
+	if o.SegmentSize <= 0 {
+		o.SegmentSize = 8 << 20
+	}
+	if o.Checkpoint <= 0 {
+		o.Checkpoint = 2 * time.Second
+	}
+	return o
+}
+
+// segment is one file's index entry.
+type segment struct {
+	id      uint64
+	sealed  bool
+	bytes   int64
+	frames  int
+	events  int
+	devices map[uint64]*segRange
+}
+
+// segRange is one device's footprint within a segment.
+type segRange struct {
+	minSeq, maxSeq uint64
+	events         int
+}
+
+func (s *segment) note(device, seq uint64, events int) {
+	r := s.devices[device]
+	if r == nil {
+		r = &segRange{minSeq: seq, maxSeq: seq}
+		s.devices[device] = r
+	} else {
+		if seq < r.minSeq {
+			r.minSeq = seq
+		}
+		if seq > r.maxSeq {
+			r.maxSeq = seq
+		}
+	}
+	r.events += events
+}
+
+// SegmentInfo is the JSON-facing index entry for one segment.
+type SegmentInfo struct {
+	ID      uint64        `json:"id"`
+	Sealed  bool          `json:"sealed"`
+	Bytes   int64         `json:"bytes"`
+	Frames  int           `json:"frames"`
+	Events  int           `json:"events"`
+	Devices []DeviceRange `json:"devices"`
+}
+
+// DeviceRange is one device's (seq range, event count) within a segment.
+type DeviceRange struct {
+	Device uint64 `json:"device"`
+	MinSeq uint64 `json:"min_seq"`
+	MaxSeq uint64 `json:"max_seq"`
+	Events int    `json:"events"`
+}
+
+var errSegStoreClosed = errors.New("trace: segment store is closed")
+
+const checkpointName = "checkpoint.json"
+
+// checkpointFile is the on-disk checkpoint: the per-device high-water
+// marks plus enough of the index to name the active segment. Replay
+// merges these marks with the frame-derived ones (taking the max per
+// device), so a stale checkpoint can only be caught up, never regress
+// the dedup gate.
+type checkpointFile struct {
+	ActiveSegment uint64            `json:"active_segment"`
+	ActiveBytes   int64             `json:"active_bytes"`
+	SealedThrough uint64            `json:"sealed_through"`
+	Marks         map[uint64]uint64 `json:"marks"`
+}
+
+func segFileName(id uint64) string { return fmt.Sprintf("seg-%06d.v3s", id) }
+
+func parseSegFileName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".v3s") {
+		return 0, false
+	}
+	id, err := strconv.ParseUint(name[len("seg-"):len(name)-len(".v3s")], 10, 64)
+	if err != nil || id == 0 {
+		return 0, false
+	}
+	return id, true
+}
+
+func (s *SegStore) segPath(id uint64) string { return filepath.Join(s.dir, segFileName(id)) }
+
+// OpenSegStore opens (creating if needed) the store rooted at dir and
+// replays every existing segment to rebuild the index and the per-device
+// marks. Each replayed batch is passed to onBatch (may be nil) in append
+// order — boot uses this to rebuild the in-memory dataset. A torn final
+// frame in the unsealed tail is truncated away (it was never acked); a
+// decode failure anywhere else is corruption and an error.
+func OpenSegStore(dir string, opt SegStoreOptions, onBatch func(*Batch)) (*SegStore, error) {
+	opt = opt.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("trace: segstore: %w", err)
+	}
+	s := &SegStore{
+		dir:    dir,
+		opt:    opt,
+		marks:  make(map[uint64]uint64),
+		cpStop: make(chan struct{}),
+		cpDone: make(chan struct{}),
+	}
+
+	var cp checkpointFile
+	if raw, err := os.ReadFile(filepath.Join(dir, checkpointName)); err == nil {
+		if err := json.Unmarshal(raw, &cp); err != nil {
+			return nil, fmt.Errorf("trace: segstore: checkpoint: %w", err)
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("trace: segstore: %w", err)
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("trace: segstore: %w", err)
+	}
+	var ids []uint64
+	for _, ent := range entries {
+		if id, ok := parseSegFileName(ent.Name()); ok {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	s.sealedThrough = cp.SealedThrough
+	for i, id := range ids {
+		// Only a segment past the checkpointed seal boundary may be a
+		// crashed unsealed tail; sealed files are immutable forever, so a
+		// decode error inside one is corruption, never a torn write.
+		tail := i == len(ids)-1 && id > cp.SealedThrough
+		seg, err := s.replaySegment(id, tail, onBatch)
+		if err != nil {
+			return nil, err
+		}
+		s.segs = append(s.segs, seg)
+	}
+	// Checkpoint marks can only be behind the frame-derived ones (marks
+	// advance strictly with durable appends), but merge defensively.
+	for dev, seq := range cp.Marks {
+		if seq > s.marks[dev] {
+			s.marks[dev] = seq
+		}
+	}
+
+	// The highest-numbered segment resumes as the active tail unless it
+	// was already sealed (clean close) or has crossed the size threshold;
+	// either way a sealed file is never appended to again.
+	nextID := uint64(1)
+	if n := len(s.segs); n > 0 {
+		tail := s.segs[n-1]
+		nextID = tail.id + 1
+		if !tail.sealed && tail.bytes < opt.SegmentSize {
+			f, err := os.OpenFile(s.segPath(tail.id), os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return nil, fmt.Errorf("trace: segstore: %w", err)
+			}
+			s.f, s.activeOff = f, tail.bytes
+		} else if !tail.sealed {
+			tail.sealed = true
+			s.sealedThrough = tail.id
+			mSegSealed.Inc()
+		}
+	}
+	if s.f == nil {
+		if err := s.openSegmentLocked(nextID); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.checkpointLocked(); err != nil {
+		s.f.Close()
+		return nil, err
+	}
+	go s.checkpointLoop()
+	return s, nil
+}
+
+// replaySegment decodes one segment file frame by frame, rebuilding its
+// index entry, advancing the marks, and feeding onBatch. For the tail
+// segment a decode error past the last good frame is a torn write from a
+// crash: the file is truncated back to the frame boundary. For a sealed
+// segment any decode error is corruption.
+func (s *SegStore) replaySegment(id uint64, tail bool, onBatch func(*Batch)) (*segment, error) {
+	path := s.segPath(id)
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: segstore: %w", err)
+	}
+	defer f.Close()
+	seg := &segment{id: id, sealed: !tail, devices: make(map[uint64]*segRange)}
+	br := bufio.NewReaderSize(f, 1<<16)
+	good := int64(0)
+	for {
+		b, wire, _, err := ReadBatchAny(br)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			if !tail {
+				return nil, fmt.Errorf("trace: segstore: sealed segment %s is corrupt at offset %d: %w", path, good, err)
+			}
+			// Torn tail: the frame was cut mid-write by a crash, so its
+			// batch was never acked — drop it and let the retry restore it.
+			size := int64(0)
+			if fi, err := f.Stat(); err == nil {
+				size = fi.Size()
+			}
+			if err := os.Truncate(path, good); err != nil {
+				return nil, fmt.Errorf("trace: segstore: truncate torn tail of %s: %w", path, err)
+			}
+			s.truncated += size - good
+			mSegTruncated.Add(size - good)
+			break
+		}
+		good += int64(wire)
+		seg.frames++
+		seg.events += len(b.Events)
+		seg.note(b.DeviceID, b.Seq, len(b.Events))
+		if b.Seq > s.marks[b.DeviceID] {
+			s.marks[b.DeviceID] = b.Seq
+		}
+		mSegReplayed.Inc()
+		if onBatch != nil {
+			onBatch(b)
+		}
+	}
+	seg.bytes = good
+	return seg, nil
+}
+
+// openSegmentLocked creates and activates segment id.
+func (s *SegStore) openSegmentLocked(id uint64) error {
+	f, err := os.OpenFile(s.segPath(id), os.O_CREATE|os.O_EXCL|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("trace: segstore: %w", err)
+	}
+	s.f, s.activeOff = f, 0
+	s.segs = append(s.segs, &segment{id: id, devices: make(map[uint64]*segRange)})
+	return nil
+}
+
+// Append encodes b as one v3 frame and appends it to the active segment
+// with a single unbuffered write, advancing the index and the device's
+// high-water mark. When the write returns, the frame is durable against
+// process death — callers ack only after Append succeeds. Crossing
+// SegmentSize seals the segment (fsync, mark immutable, checkpoint) and
+// opens the next one.
+func (s *SegStore) Append(b *Batch) error {
+	fp := getScratch(1 << 10)
+	defer putScratch(fp)
+	frame, err := AppendBatchV3((*fp)[:0], b)
+	if err != nil {
+		return err
+	}
+	*fp = frame
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errSegStoreClosed
+	}
+	if _, err := s.f.Write(frame); err != nil {
+		// A partial append would corrupt the next frame's framing: roll the
+		// file back to the last frame boundary before reporting failure.
+		s.f.Truncate(s.activeOff)
+		return fmt.Errorf("trace: segstore: append: %w", err)
+	}
+	s.activeOff += int64(len(frame))
+	seg := s.segs[len(s.segs)-1]
+	seg.bytes = s.activeOff
+	seg.frames++
+	seg.events += len(b.Events)
+	seg.note(b.DeviceID, b.Seq, len(b.Events))
+	if b.Seq > s.marks[b.DeviceID] {
+		s.marks[b.DeviceID] = b.Seq
+	}
+	s.appends++
+	mSegAppends.Inc()
+	mSegBytes.Add(int64(len(frame)))
+	if s.activeOff >= s.opt.SegmentSize {
+		return s.sealLocked()
+	}
+	return nil
+}
+
+// sealLocked closes out the active segment — fsync so the finished file
+// survives power loss, not just process death — marks it immutable,
+// checkpoints, and opens the successor.
+func (s *SegStore) sealLocked() error {
+	seg := s.segs[len(s.segs)-1]
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("trace: segstore: seal: %w", err)
+	}
+	if err := s.f.Close(); err != nil {
+		return fmt.Errorf("trace: segstore: seal: %w", err)
+	}
+	seg.sealed = true
+	s.sealedThrough = seg.id
+	mSegSealed.Inc()
+	if err := s.openSegmentLocked(seg.id + 1); err != nil {
+		return err
+	}
+	return s.checkpointLocked()
+}
+
+// checkpointLocked writes the checkpoint atomically (temp file + rename).
+func (s *SegStore) checkpointLocked() error {
+	cp := checkpointFile{
+		ActiveSegment: s.segs[len(s.segs)-1].id,
+		ActiveBytes:   s.activeOff,
+		SealedThrough: s.sealedThrough,
+		Marks:         s.marks,
+	}
+	raw, err := json.Marshal(&cp)
+	if err != nil {
+		return fmt.Errorf("trace: segstore: checkpoint: %w", err)
+	}
+	tmp := filepath.Join(s.dir, checkpointName+".tmp")
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return fmt.Errorf("trace: segstore: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, checkpointName)); err != nil {
+		return fmt.Errorf("trace: segstore: checkpoint: %w", err)
+	}
+	s.appends = 0
+	mSegCheckpoints.Inc()
+	return nil
+}
+
+// Checkpoint forces a mark/index checkpoint now.
+func (s *SegStore) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errSegStoreClosed
+	}
+	return s.checkpointLocked()
+}
+
+// checkpointLoop writes the periodic checkpoint whenever appends happened
+// since the last one.
+func (s *SegStore) checkpointLoop() {
+	defer close(s.cpDone)
+	tick := time.NewTicker(s.opt.Checkpoint)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.cpStop:
+			return
+		case <-tick.C:
+			s.mu.Lock()
+			if !s.closed && s.appends > 0 {
+				s.checkpointLocked()
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+// Dir returns the store's root directory.
+func (s *SegStore) Dir() string { return s.dir }
+
+// TruncatedBytes reports how many torn-tail bytes the last open dropped.
+func (s *SegStore) TruncatedBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.truncated
+}
+
+// Marks returns a copy of the per-device acked seq high-water marks —
+// the state a restarted collector seeds its dedup gate from.
+func (s *SegStore) Marks() map[uint64]uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[uint64]uint64, len(s.marks))
+	for dev, seq := range s.marks {
+		out[dev] = seq
+	}
+	return out
+}
+
+// Segments returns the index: one entry per segment in id order, device
+// ranges sorted by device. The snapshot is decoupled from the append
+// path — queries never block ingest.
+func (s *SegStore) Segments() []SegmentInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SegmentInfo, 0, len(s.segs))
+	for _, seg := range s.segs {
+		info := SegmentInfo{
+			ID: seg.id, Sealed: seg.sealed, Bytes: seg.bytes,
+			Frames: seg.frames, Events: seg.events,
+			Devices: make([]DeviceRange, 0, len(seg.devices)),
+		}
+		for dev, r := range seg.devices {
+			info.Devices = append(info.Devices, DeviceRange{
+				Device: dev, MinSeq: r.minSeq, MaxSeq: r.maxSeq, Events: r.events,
+			})
+		}
+		sort.Slice(info.Devices, func(i, j int) bool { return info.Devices[i].Device < info.Devices[j].Device })
+		out = append(out, info)
+	}
+	return out
+}
+
+// sealedPath resolves id to its file path if the segment exists and is
+// sealed. Only sealed segments are readable: they are immutable, so the
+// read needs no coordination with the append path.
+func (s *SegStore) sealedPath(id uint64) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, seg := range s.segs {
+		if seg.id == id {
+			if !seg.sealed {
+				return "", fmt.Errorf("trace: segstore: segment %d is not sealed yet", id)
+			}
+			return s.segPath(id), nil
+		}
+	}
+	return "", fmt.Errorf("trace: segstore: no segment %d", id)
+}
+
+// ReadSegment streams the batches of sealed segment id from disk in
+// append order. It holds no store lock while reading, so ingest into the
+// active segment continues unimpeded.
+func (s *SegStore) ReadSegment(id uint64, fn func(*Batch) error) error {
+	path, err := s.sealedPath(id)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("trace: segstore: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+	for {
+		b, _, _, err := ReadBatchAny(br)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("trace: segstore: read segment %d: %w", id, err)
+		}
+		if err := fn(b); err != nil {
+			return err
+		}
+	}
+}
+
+// Close seals the active segment, writes a final checkpoint, and stops
+// the background checkpointer. After Close every segment is sealed and
+// remains readable via ReadSegment.
+func (s *SegStore) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	var err error
+	if serr := s.f.Sync(); serr != nil {
+		err = serr
+	}
+	if cerr := s.f.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	tail := s.segs[len(s.segs)-1]
+	tail.sealed = true
+	s.sealedThrough = tail.id
+	mSegSealed.Inc()
+	if cerr := s.checkpointLocked(); cerr != nil && err == nil {
+		err = cerr
+	}
+	s.mu.Unlock()
+	close(s.cpStop)
+	<-s.cpDone
+	return err
+}
+
+// Kill simulates a crash for tests and the chaos harness: the file
+// handle closes and the checkpointer stops, but no seal, sync, or final
+// checkpoint is written — the directory is left exactly as SIGKILL
+// would leave it, and in-flight Appends fail without acking.
+func (s *SegStore) Kill() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.f.Close()
+	s.mu.Unlock()
+	close(s.cpStop)
+	<-s.cpDone
+}

@@ -1,0 +1,285 @@
+package trace
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// storeBatches builds n sequenced batches for device dev, k events each.
+func storeBatches(dev uint64, n, k int) []*Batch {
+	out := make([]*Batch, 0, n)
+	for i := 0; i < n; i++ {
+		events := sampleEvents(k)
+		for j := range events {
+			events[j].DeviceID = dev
+		}
+		out = append(out, &Batch{DeviceID: dev, Seq: uint64(i + 1), Events: events})
+	}
+	return out
+}
+
+// TestSegStoreReplayRoundTrip closes a store cleanly and reopens it: the
+// replayed dataset must be the exact multiset that was appended, the
+// marks must match the highest appended seq per device, and every
+// segment must be sealed after Close.
+func TestSegStoreReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenSegStore(dir, SegStoreOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NewDataset()
+	for _, dev := range []uint64{3, 9} {
+		for _, b := range storeBatches(dev, 4, 5) {
+			if err := st.Append(b); err != nil {
+				t.Fatal(err)
+			}
+			ReplayInto(want)(b)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got := NewDataset()
+	st2, err := OpenSegStore(dir, SegStoreOptions{}, ReplayInto(got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if got.MultisetDigest() != want.MultisetDigest() || got.Len() != want.Len() {
+		t.Fatalf("replayed dataset %d events %s, want %d events %s",
+			got.Len(), got.MultisetDigest(), want.Len(), want.MultisetDigest())
+	}
+	marks := st2.Marks()
+	if marks[3] != 4 || marks[9] != 4 {
+		t.Fatalf("replayed marks = %v, want seq 4 for devices 3 and 9", marks)
+	}
+	for _, info := range st2.Segments() {
+		if !info.Sealed && info.Frames > 0 {
+			t.Errorf("segment %d holds replayed frames but is not sealed after a clean close", info.ID)
+		}
+	}
+}
+
+// TestSegStoreSealsAndIndexes drives the store over a tiny segment size
+// so it rolls files, and checks the (device, seq range) index.
+func TestSegStoreSealsAndIndexes(t *testing.T) {
+	st, err := OpenSegStore(t.TempDir(), SegStoreOptions{SegmentSize: 1024}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	batches := storeBatches(7, 10, 8)
+	for _, b := range batches {
+		if err := st.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	infos := st.Segments()
+	if len(infos) < 2 {
+		t.Fatalf("expected multiple segments past the 1KiB threshold, got %d", len(infos))
+	}
+	frames, events, sealed := 0, 0, 0
+	var lastMax uint64
+	for i, info := range infos {
+		if info.ID != uint64(i+1) {
+			t.Errorf("segment id %d at index %d, want %d", info.ID, i, i+1)
+		}
+		if info.Sealed {
+			sealed++
+		}
+		frames += info.Frames
+		events += info.Events
+		for _, dr := range info.Devices {
+			if dr.Device != 7 {
+				t.Errorf("unexpected device %d in index", dr.Device)
+			}
+			if dr.MinSeq <= lastMax && info.Frames > 0 {
+				t.Errorf("segment %d seq range [%d,%d] overlaps previous max %d",
+					info.ID, dr.MinSeq, dr.MaxSeq, lastMax)
+			}
+			lastMax = dr.MaxSeq
+		}
+	}
+	if frames != len(batches) || events != 10*8 {
+		t.Fatalf("index sums: %d frames %d events, want %d and %d", frames, events, len(batches), 80)
+	}
+	if sealed == 0 {
+		t.Fatal("no segment was sealed")
+	}
+}
+
+// TestSegStoreTornTailTruncated simulates a crash mid-write: the final
+// frame of the unsealed tail is cut short on disk. Reopen must truncate
+// it away, keep everything before it, and leave the marks at the last
+// intact frame — the torn batch was never acked, so its retry restores
+// it.
+func TestSegStoreTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenSegStore(dir, SegStoreOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range storeBatches(5, 3, 4) {
+		if err := st.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Kill() // crash: no seal, no final checkpoint
+
+	path := filepath.Join(dir, segFileName(1))
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	got := NewDataset()
+	st2, err := OpenSegStore(dir, SegStoreOptions{}, ReplayInto(got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2*4 {
+		t.Fatalf("replayed %d events after torn tail, want 8 (two intact frames)", got.Len())
+	}
+	if st2.TruncatedBytes() == 0 {
+		t.Fatal("torn tail was not truncated")
+	}
+	if m := st2.Marks()[5]; m != 2 {
+		t.Fatalf("mark = %d after torn seq-3 frame, want 2", m)
+	}
+	// The retry lands cleanly on the truncated tail.
+	retry := storeBatches(5, 3, 4)[2]
+	if err := st2.Append(retry); err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	final := NewDataset()
+	st3, err := OpenSegStore(dir, SegStoreOptions{}, ReplayInto(final))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Close()
+	if final.Len() != 3*4 || st3.Marks()[5] != 3 {
+		t.Fatalf("after retry: %d events, mark %d; want 12 and 3", final.Len(), st3.Marks()[5])
+	}
+}
+
+// TestSegStoreKillLeavesStaleCheckpoint kills the store before the
+// checkpoint cadence fires: the on-disk checkpoint still holds no marks,
+// and reopen must rebuild them from the frames alone — the checkpoint is
+// an accelerator, never the source of truth.
+func TestSegStoreKillLeavesStaleCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenSegStore(dir, SegStoreOptions{Checkpoint: time.Hour}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range storeBatches(11, 5, 2) {
+		if err := st.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Kill()
+
+	raw, err := os.ReadFile(filepath.Join(dir, checkpointName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cp checkpointFile
+	if err := json.Unmarshal(raw, &cp); err != nil {
+		t.Fatal(err)
+	}
+	if len(cp.Marks) != 0 {
+		t.Fatalf("checkpoint written after Kill carries marks %v — Kill must not checkpoint", cp.Marks)
+	}
+	st2, err := OpenSegStore(dir, SegStoreOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if m := st2.Marks()[11]; m != 5 {
+		t.Fatalf("frame-derived mark = %d, want 5 despite the stale checkpoint", m)
+	}
+}
+
+// TestSegStoreCheckpointMarksMerge plants a checkpoint whose mark runs
+// ahead of the frames (as if segments had been pruned) and asserts the
+// reopen takes the max — the dedup gate can only be caught up by a
+// checkpoint, never regressed.
+func TestSegStoreCheckpointMarksMerge(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenSegStore(dir, SegStoreOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range storeBatches(2, 2, 3) {
+		if err := st.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cp := checkpointFile{ActiveSegment: 1, Marks: map[uint64]uint64{2: 9, 4: 6}}
+	raw, _ := json.Marshal(&cp)
+	if err := os.WriteFile(filepath.Join(dir, checkpointName), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := OpenSegStore(dir, SegStoreOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	marks := st2.Marks()
+	if marks[2] != 9 || marks[4] != 6 {
+		t.Fatalf("merged marks = %v, want device 2 at 9 and device 4 at 6", marks)
+	}
+}
+
+// TestSegStoreReadSegmentSealedOnly: the active segment is not readable
+// (it is still being appended to); sealed ones stream their batches in
+// append order.
+func TestSegStoreReadSegmentSealedOnly(t *testing.T) {
+	st, err := OpenSegStore(t.TempDir(), SegStoreOptions{SegmentSize: 512}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for _, b := range storeBatches(1, 6, 6) {
+		if err := st.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	infos := st.Segments()
+	active := infos[len(infos)-1]
+	if active.Sealed {
+		t.Fatal("tail segment unexpectedly sealed")
+	}
+	if err := st.ReadSegment(active.ID, func(*Batch) error { return nil }); err == nil {
+		t.Fatal("ReadSegment on the active segment must fail")
+	}
+	var lastSeq uint64
+	frames := 0
+	if err := st.ReadSegment(infos[0].ID, func(b *Batch) error {
+		if b.Seq <= lastSeq {
+			t.Errorf("segment read out of append order: seq %d after %d", b.Seq, lastSeq)
+		}
+		lastSeq = b.Seq
+		frames++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if frames != infos[0].Frames {
+		t.Fatalf("read %d frames, index says %d", frames, infos[0].Frames)
+	}
+}

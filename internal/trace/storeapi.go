@@ -1,0 +1,143 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+)
+
+// StoreAPI serves read-only JSON and binary views of a segment store
+// over HTTP — the queryable half of the collector's durable state.
+// Sealed segments are immutable files, so every handler reads straight
+// from disk without coordinating with the append path: queries never
+// block ingest, and ingest never blocks queries.
+//
+//	GET /api/segments                          — the (device, seq range) → segment index
+//	GET /api/segments/events?id=N[&device=D][&limit=K] — decoded rows from one sealed segment
+//	GET /api/segments/data?id=N                — the raw v3 frames of one sealed segment
+//
+// The data endpoint streams the segment file verbatim: a client decodes
+// it with the same ReadBatchAny/StreamReader loop the collector's
+// replay uses, so "what the store holds" is re-derivable bit-for-bit
+// without shipping snapshots around.
+type StoreAPI struct {
+	st *SegStore
+}
+
+// NewStoreAPI wraps a segment store.
+func NewStoreAPI(st *SegStore) *StoreAPI { return &StoreAPI{st: st} }
+
+// Routes registers the API on mux under /api/segments.
+func (a *StoreAPI) Routes(mux *http.ServeMux) {
+	mux.HandleFunc("/api/segments", a.handleIndex)
+	mux.HandleFunc("/api/segments/events", a.handleEvents)
+	mux.HandleFunc("/api/segments/data", a.handleData)
+}
+
+func (a *StoreAPI) handleIndex(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, a.st.Segments())
+}
+
+// segmentID parses the mandatory id query parameter.
+func segmentID(w http.ResponseWriter, r *http.Request) (uint64, bool) {
+	id, err := strconv.ParseUint(r.URL.Query().Get("id"), 10, 64)
+	if err != nil || id == 0 {
+		http.Error(w, "bad or missing segment id", http.StatusBadRequest)
+		return 0, false
+	}
+	return id, true
+}
+
+func (a *StoreAPI) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id, ok := segmentID(w, r)
+	if !ok {
+		return
+	}
+	limit := 100
+	if s := r.URL.Query().Get("limit"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 || n > 100000 {
+			http.Error(w, "bad limit", http.StatusBadRequest)
+			return
+		}
+		limit = n
+	}
+	var device uint64
+	filtered := false
+	if s := r.URL.Query().Get("device"); s != "" {
+		n, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			http.Error(w, "bad device", http.StatusBadRequest)
+			return
+		}
+		device, filtered = n, true
+	}
+	type jsonRow struct {
+		DeviceID uint64  `json:"device_id"`
+		Seq      uint64  `json:"seq"`
+		Kind     string  `json:"kind"`
+		ISP      string  `json:"isp"`
+		RAT      string  `json:"rat"`
+		Level    int     `json:"level"`
+		Cause    string  `json:"cause"`
+		Duration float64 `json:"duration_s"`
+	}
+	rows := []jsonRow{}
+	err := a.st.ReadSegment(id, func(b *Batch) error {
+		if filtered && b.DeviceID != device {
+			return nil
+		}
+		for i := range b.Events {
+			if len(rows) >= limit {
+				return errStoreAPIDone
+			}
+			e := &b.Events[i]
+			rows = append(rows, jsonRow{
+				DeviceID: e.DeviceID, Seq: b.Seq, Kind: e.Kind.String(),
+				ISP: e.ISP.String(), RAT: e.RAT.String(), Level: int(e.Level),
+				Cause: e.Cause.String(), Duration: e.Duration.Seconds(),
+			})
+		}
+		return nil
+	})
+	if err != nil && err != errStoreAPIDone {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, rows)
+}
+
+// errStoreAPIDone stops a segment read early once the row limit fills.
+var errStoreAPIDone = fmt.Errorf("trace: store api: done")
+
+func (a *StoreAPI) handleData(w http.ResponseWriter, r *http.Request) {
+	id, ok := segmentID(w, r)
+	if !ok {
+		return
+	}
+	path, err := a.st.sealedPath(id)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	defer f.Close()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	io.Copy(w, f)
+}
+
+// ReplayInto returns an OpenSegStore callback that rebuilds a dataset
+// with the collector's shard placement (events pinned to the batch's
+// DeviceID shard) — boot-time replay and live admission produce the same
+// per-shard layout.
+func ReplayInto(ds *Dataset) func(*Batch) {
+	return func(b *Batch) {
+		ds.AppendShard(int(b.DeviceID%uint64(ds.NumShards())), b.Events...)
+	}
+}
