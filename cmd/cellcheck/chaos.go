@@ -19,7 +19,9 @@ import (
 	"repro/internal/failure"
 	"repro/internal/faultinject"
 	"repro/internal/fleet"
+	"repro/internal/metrics"
 	"repro/internal/trace"
+	"repro/internal/trace/ring"
 )
 
 // runChaos executes `cellcheck chaos`: a calm baseline run, the same
@@ -45,26 +47,47 @@ import (
 //	    faulted fleet uploads, and after the drain the live figures and
 //	    claims JSON are byte-identical to a batch pass over the collected
 //	    dataset — and identical across worker counts.
-//	I6  crash durability (-restart): the collector — backed by a segment
-//	    store — is SIGKILLed mid-campaign and rebooted from disk; the
-//	    devices' backoff/WAL retries carry everything across the outage,
-//	    so I4/I5 must still hold end-to-end, the store's segments must
-//	    answer queries while ingest continues, and the post-drain segment
-//	    contents must reproduce the stored multiset and batch figures
-//	    byte-for-byte.
+//	I6  crash durability (-restart, or -fleet's merged variant): the
+//	    collector — backed by a segment store — is SIGKILLed mid-campaign
+//	    and rebooted from disk; the devices' backoff/WAL retries carry
+//	    everything across the outage, so I4/I5 must still hold
+//	    end-to-end, the store's segments must answer queries while ingest
+//	    continues, and the post-drain segment contents must reproduce the
+//	    stored multiset and batch figures byte-for-byte.
+//	I7  failover exactly-once (-fleet N -failover): with the uploaders
+//	    routed across N store-backed collectors by a consistent-hash
+//	    ring, one collector is SIGKILLed mid-campaign; its devices reroute
+//	    to the survivors, whose dedup gates are seeded from the dead
+//	    member's replayed marks. The stored union across all members —
+//	    served through the merged segment API, the dead member's segments
+//	    via a read-only adoption of its directory — must equal the
+//	    recorded multiset even though the collector a device talks to
+//	    changed mid-run, and must match a single-collector run of the
+//	    same scenario byte-for-byte.
 func runChaos(args []string) {
 	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
 	var (
-		devices = fs.Int("devices", 2000, "fleet size")
-		seed    = fs.Int64("seed", 7, "simulation seed")
-		workers = fs.Int("workers", 8, "worker shards")
-		months  = fs.Float64("months", 4, "measurement window in months")
-		faults  = fs.String("faults", "", "JSON fault-campaign file (default: the bundled BS-blackout campaign, or the bundled network campaign with -network)")
-		network = fs.Bool("network", false, "upload events through an in-process collector under transport faults and check the exactly-once invariant I4")
-		restart = fs.Bool("restart", false, "SIGKILL the segment-store-backed collector mid-campaign, reboot it from disk, and check exactly-once across the restart (implies upload mode)")
-		dialect = fs.String("dialect", "", "upload-mode wire dialect: v3 (default, binary codec) or v2 (gob frames)")
+		devices  = fs.Int("devices", 2000, "fleet size")
+		seed     = fs.Int64("seed", 7, "simulation seed")
+		workers  = fs.Int("workers", 8, "worker shards")
+		months   = fs.Float64("months", 4, "measurement window in months")
+		faults   = fs.String("faults", "", "JSON fault-campaign file (default: the bundled BS-blackout campaign, or the bundled network campaign with -network)")
+		network  = fs.Bool("network", false, "upload events through an in-process collector under transport faults and check the exactly-once invariant I4")
+		restart  = fs.Bool("restart", false, "SIGKILL the segment-store-backed collector mid-campaign, reboot it from disk, and check exactly-once across the restart (implies upload mode)")
+		dialect  = fs.String("dialect", "", "upload-mode wire dialect: v3 (default, binary codec) or v2 (gob frames)")
+		fleetN   = fs.Int("fleet", 0, "route uploads across N store-backed collectors behind a consistent-hash ring (implies upload mode; N >= 2)")
+		failover = fs.Bool("failover", false, "SIGKILL one fleet collector mid-campaign and check exactly-once across the takeover (invariant I7; implies -fleet 3)")
 	)
 	_ = fs.Parse(args)
+	if *failover && *fleetN < 2 {
+		*fleetN = 3
+	}
+	if *fleetN == 1 {
+		log.Fatal("cellcheck chaos: -fleet needs at least 2 collectors")
+	}
+	if *restart && *fleetN > 1 {
+		log.Fatal("cellcheck chaos: -restart and -fleet are mutually exclusive (use -fleet -failover for crash durability across a fleet)")
+	}
 
 	scenario := fleet.Scenario{
 		Seed:          *seed,
@@ -81,12 +104,12 @@ func runChaos(args []string) {
 		if err != nil {
 			log.Fatalf("cellcheck chaos: %v", err)
 		}
-	} else if *network || *restart {
+	} else if *network || *restart || *fleetN > 1 {
 		campaign = faultinject.DefaultNetworkCampaign(scenario.Window)
 	} else {
 		campaign = faultinject.DefaultBlackoutCampaign(scenario.Window)
 	}
-	uploadMode := *network || *restart || campaign.HasNetworkRules()
+	uploadMode := *network || *restart || *fleetN > 1 || campaign.HasNetworkRules()
 
 	fmt.Printf("chaos: campaign %q over %d devices, %.1f months, seed %d\n",
 		campaign.Name, scenario.NumDevices, scenario.Window.Hours()/24/30, scenario.Seed)
@@ -94,6 +117,170 @@ func runChaos(args []string) {
 	baseline, err := fleet.Run(scenario)
 	if err != nil {
 		log.Fatalf("cellcheck chaos: baseline run: %v", err)
+	}
+
+	// runFaultedFleet executes the campaign with the shard uploaders
+	// routed across *fleetN store-backed collectors by a consistent-hash
+	// ring (Scenario.UploadRouter). All members admit into one shared
+	// dataset and one live streaming engine; the merged segment API serves
+	// the union of their stores. With -failover, a monitor SIGKILLs the
+	// collector owning device 0 once a quarter of the baseline event count
+	// has been admitted: the ring reroutes its devices to the survivors,
+	// whose dedup gates were seeded from the dead member's replayed marks
+	// (invariant I7), while merged segment queries keep answering — the
+	// dead member's segments through a read-only adoption of its
+	// directory.
+	runFaultedFleet := func(workers int) (*fleet.Result, *liveRun) {
+		faulted := scenario
+		faulted.Workers = workers
+		faulted.Faults = campaign
+
+		ds := trace.NewDataset()
+		eng := analysis.NewStreaming(analysis.LiveInput(ds), analysis.StreamingOptions{})
+		defer eng.Close()
+
+		storeDir, err := os.MkdirTemp("", "cellcheck-chaos-fleet-*")
+		if err != nil {
+			log.Fatalf("cellcheck chaos: fleet store dir: %v", err)
+		}
+		defer os.RemoveAll(storeDir)
+		fc, err := ring.StartFleet(*fleetN, ds, ring.FleetOptions{
+			Seed:      scenario.Seed,
+			Dir:       storeDir,
+			Collector: trace.CollectorOptions{OnAdmit: eng.Ingest},
+		})
+		if err != nil {
+			log.Fatalf("cellcheck chaos: fleet: %v", err)
+		}
+		defer fc.Close()
+		faulted.UploadRouter = fc.Router()
+
+		mux := http.NewServeMux()
+		analysis.NewLiveAPI(eng, core.Catalogue()).Routes(mux)
+		trace.NewMergeAPI(fc.Sources).Routes(mux)
+		srv := httptest.NewServer(mux)
+		defer srv.Close()
+
+		live := &liveRun{fleetSize: *fleetN}
+		reroutes0 := chaosMetric("trace_uploader_reroutes_total")
+		takeovers0 := chaosMetric("trace_collector_takeover_devices")
+
+		var failMu sync.Mutex
+		var failInfo struct {
+			fired            bool
+			victim, killedAt int
+		}
+		monitorStop := make(chan struct{})
+		monitorDone := make(chan struct{})
+		if *failover {
+			target := baseline.Dataset.Len() / 4
+			if target < 1 {
+				target = 1
+			}
+			go func() {
+				defer close(monitorDone)
+				for ds.Len() < target {
+					select {
+					case <-monitorStop:
+						return
+					case <-time.After(2 * time.Millisecond):
+					}
+				}
+				victim := fc.OwnerIndex(0)
+				if victim < 0 {
+					victim = 0
+				}
+				if err := fc.Fail(victim); err != nil {
+					log.Fatalf("cellcheck chaos: failover: %v", err)
+				}
+				killedAt := ds.Len()
+				failMu.Lock()
+				failInfo.fired, failInfo.victim, failInfo.killedAt = true, victim, killedAt
+				failMu.Unlock()
+				fmt.Printf("fleet (workers=%d): killed col-%d at %d events, survivors seeded and rerouting\n",
+					workers, victim, killedAt)
+			}()
+		} else {
+			close(monitorDone)
+		}
+
+		done := make(chan *fleet.Result, 1)
+		go func() {
+			res, err := fleet.Run(faulted)
+			if err != nil {
+				log.Fatalf("cellcheck chaos: faulted fleet run (workers=%d): %v", workers, err)
+			}
+			done <- res
+		}()
+		var res *fleet.Result
+		for res == nil {
+			select {
+			case res = <-done:
+			case <-time.After(5 * time.Millisecond):
+				liveFetch(srv, "/api/live/figures")
+				liveFetch(srv, "/api/live/status")
+				live.queries += 2
+				if liveFetch(srv, "/api/segments") != nil {
+					live.segQueries++
+				}
+			}
+		}
+		close(monitorStop)
+		<-monitorDone
+		failMu.Lock()
+		live.failoverFired, live.fleetVictim, live.fleetKilledAt = failInfo.fired, failInfo.victim, failInfo.killedAt
+		failMu.Unlock()
+
+		if err := fc.Drain(5 * time.Second); err != nil {
+			log.Fatalf("cellcheck chaos: fleet drain: %v", err)
+		}
+		res.Dataset = ds
+		live.fleetEnd = ds.Len()
+		live.reroutes = chaosMetric("trace_uploader_reroutes_total") - reroutes0
+		live.takeovers = chaosMetric("trace_collector_takeover_devices") - takeovers0
+		fmt.Printf("fleet (workers=%d): %d events across %d collectors, %d dedup hits, %d redirects, digest %s\n",
+			workers, ds.Len(), *fleetN, fc.DedupHits(), fc.Redirects(), ds.MultisetDigest())
+
+		captureStreaming(live, eng, srv, res, ds)
+
+		// Seal every live store, then rebuild the dataset from the merged
+		// segment API — the union of all members, the dead one included via
+		// its adopted read-only store — and render figures from it: the
+		// durable fleet-wide bytes must reproduce the stored multiset and
+		// the batch figures bit-for-bit.
+		if err := fc.CloseStores(); err != nil {
+			log.Fatalf("cellcheck chaos: fleet store close: %v", err)
+		}
+		live.storedEvents = ds.Len()
+		live.storedDigest = ds.MultisetDigest()
+		segDs := trace.NewDataset()
+		replay := trace.ReplayInto(segDs)
+		var idx []trace.MergedSegmentInfo
+		if err := json.Unmarshal(liveFetch(srv, "/api/segments"), &idx); err != nil {
+			log.Fatalf("cellcheck chaos: merged segment index: %v", err)
+		}
+		for _, info := range idx {
+			raw := liveFetch(srv, fmt.Sprintf("/api/segments/data?collector=%s&id=%d", info.Collector, info.ID))
+			br := bufio.NewReader(bytes.NewReader(raw))
+			for {
+				if _, err := br.Peek(1); err == io.EOF {
+					break
+				}
+				b, _, _, err := trace.ReadBatchAny(br)
+				if err != nil {
+					log.Fatalf("cellcheck chaos: %s segment %d decode: %v", info.Collector, info.ID, err)
+				}
+				replay(b)
+			}
+		}
+		live.segEvents = segDs.Len()
+		live.segDigest = segDs.MultisetDigest()
+		segIn := analysis.FromResult(res)
+		segIn.Dataset = segDs
+		if live.segFigures, err = analysis.NewPass(segIn).FiguresJSON(core.Catalogue()); err != nil {
+			log.Fatalf("cellcheck chaos: merged segment figures: %v", err)
+		}
+		return res, live
 	}
 
 	// runFaulted executes the campaign, in upload mode routing every event
@@ -109,6 +296,9 @@ func runChaos(args []string) {
 	// and the devices' retries carry the rest of the campaign across the
 	// outage (invariant I6).
 	runFaulted := func(workers int) (*fleet.Result, *liveRun) {
+		if *fleetN > 1 {
+			return runFaultedFleet(workers)
+		}
 		faulted := scenario
 		faulted.Workers = workers
 		faulted.Faults = campaign
@@ -274,22 +464,7 @@ func runChaos(args []string) {
 
 		// Settle the streaming side with the run's final context, then
 		// capture both sides of the streaming=batch comparison.
-		if err := eng.WaitIdle(10 * time.Second); err != nil {
-			log.Fatalf("cellcheck chaos: live engine: %v", err)
-		}
-		in := analysis.FromResult(res)
-		in.Dataset = ds
-		live.resynced = eng.Sync(in)
-		live.status = eng.Status()
-		live.figures = liveFetch(srv, "/api/live/figures")
-		live.claims = liveFetch(srv, "/api/live/claims")
-		pass := analysis.NewPass(in)
-		if live.batchFigures, err = pass.FiguresJSON(core.Catalogue()); err != nil {
-			log.Fatalf("cellcheck chaos: batch figures: %v", err)
-		}
-		if live.batchClaims, err = pass.ClaimsJSON(); err != nil {
-			log.Fatalf("cellcheck chaos: batch claims: %v", err)
-		}
+		captureStreaming(live, eng, srv, res, ds)
 
 		if *restart {
 			// Close the store (sealing the tail), download every segment
@@ -346,6 +521,26 @@ func runChaos(args []string) {
 		if *restart {
 			checks = append(checks, restartInvariants(live, live1)...)
 		}
+		if *fleetN > 1 {
+			// Single-collector reference arm: the same scenario and campaign
+			// through one plain collector. The merged fleet union must land
+			// on exactly this dataset digest.
+			refDs := trace.NewDataset()
+			refCol, err := trace.NewCollector("127.0.0.1:0", refDs)
+			if err != nil {
+				log.Fatalf("cellcheck chaos: reference collector: %v", err)
+			}
+			refScenario := scenario
+			refScenario.Faults = campaign
+			refScenario.UploadAddr = refCol.Addr()
+			if _, err := fleet.Run(refScenario); err != nil {
+				log.Fatalf("cellcheck chaos: reference run: %v", err)
+			}
+			refCol.Drain(5 * time.Second)
+			fmt.Printf("reference (single collector): %d events, digest %s\n", refDs.Len(), refDs.MultisetDigest())
+			checks = append(checks, fleetInvariants(live, live1, refDs, *failover)...)
+			refCol.Close()
+		}
 	}
 	failures := 0
 	for _, c := range checks {
@@ -392,6 +587,44 @@ type liveRun struct {
 	segEvents    int // events rebuilt from downloaded segment frames
 	segDigest    trace.Digest
 	segFigures   []byte
+
+	// -fleet observations.
+	fleetSize     int
+	failoverFired bool
+	fleetVictim   int
+	fleetKilledAt int     // shared-dataset size when the victim was killed
+	fleetEnd      int     // shared-dataset size after the drain
+	reroutes      float64 // delta of trace_uploader_reroutes_total over the run
+	takeovers     float64 // delta of trace_collector_takeover_devices over the run
+}
+
+// captureStreaming settles the live engine with the run's final context
+// and captures both sides of the streaming=batch comparison (I5).
+func captureStreaming(live *liveRun, eng *analysis.Streaming, srv *httptest.Server, res *fleet.Result, ds *trace.Dataset) {
+	if err := eng.WaitIdle(10 * time.Second); err != nil {
+		log.Fatalf("cellcheck chaos: live engine: %v", err)
+	}
+	in := analysis.FromResult(res)
+	in.Dataset = ds
+	live.resynced = eng.Sync(in)
+	live.status = eng.Status()
+	live.figures = liveFetch(srv, "/api/live/figures")
+	live.claims = liveFetch(srv, "/api/live/claims")
+	pass := analysis.NewPass(in)
+	var err error
+	if live.batchFigures, err = pass.FiguresJSON(core.Catalogue()); err != nil {
+		log.Fatalf("cellcheck chaos: batch figures: %v", err)
+	}
+	if live.batchClaims, err = pass.ClaimsJSON(); err != nil {
+		log.Fatalf("cellcheck chaos: batch claims: %v", err)
+	}
+}
+
+// chaosMetric reads one counter from the process-wide registry (0 if it
+// has not been registered yet).
+func chaosMetric(name string) float64 {
+	v, _ := metrics.Default().Value(name)
+	return v
 }
 
 // liveFetch GETs one live endpoint, returning the body (nil on error —
@@ -479,6 +712,75 @@ func restartInvariants(live, live1 *liveRun) []chaosCheck {
 				live.segEvents, live.segDigest, live.storedEvents, live.storedDigest, len(live.segFigures)),
 		},
 	}
+}
+
+// fleetInvariants covers the -fleet arms: the merged-segment variant of
+// I6 (the fleet-wide durable union answers queries mid-run and
+// reproduces the stored multiset and batch figures), and — with
+// -failover — invariant I7: the takeover actually happened mid-campaign
+// in both worker arms, devices rerouted and kept uploading past the
+// kill, the survivors' seeded dedup gates absorbed the replays, and the
+// stored union matches the single-collector reference run of the same
+// scenario byte-for-byte.
+func fleetInvariants(live, live1 *liveRun, refDs *trace.Dataset, failover bool) []chaosCheck {
+	checks := []chaosCheck{
+		{
+			id:     "I6/segments-live",
+			text:   "the merged segment index answered queries while ingest continued",
+			pass:   live.segQueries > 0 && live1.segQueries > 0,
+			detail: fmt.Sprintf("mid-run merged queries: workers=N %d, workers=1 %d", live.segQueries, live1.segQueries),
+		},
+		{
+			id:   "I6/segments-batch-equal",
+			text: "the merged segment union reproduces the stored multiset and batch figures",
+			pass: live.segEvents == live.storedEvents && live.segDigest == live.storedDigest &&
+				live1.segEvents == live1.storedEvents && live1.segDigest == live1.storedDigest &&
+				len(live.segFigures) > 0 && bytes.Equal(live.segFigures, live.batchFigures) &&
+				bytes.Equal(live1.segFigures, live1.batchFigures),
+			detail: fmt.Sprintf("union=%d events digest=%s stored=%d digest=%s figures=%dB",
+				live.segEvents, live.segDigest, live.storedEvents, live.storedDigest, len(live.segFigures)),
+		},
+	}
+	if failover {
+		checks = append(checks,
+			chaosCheck{
+				id:   "I7/failover-fired",
+				text: "one collector was SIGKILLed mid-campaign in both worker arms",
+				pass: live.failoverFired && live1.failoverFired && live.fleetKilledAt > 0 && live1.fleetKilledAt > 0,
+				detail: fmt.Sprintf("workers=N killed col-%d at %d events; workers=1 killed col-%d at %d",
+					live.fleetVictim, live.fleetKilledAt, live1.fleetVictim, live1.fleetKilledAt),
+			},
+			chaosCheck{
+				id:   "I7/takeover-reroute",
+				text: "devices rerouted to survivors whose dedup gates were seeded from the dead member's marks",
+				// Post-kill dataset growth is reported but not required: a
+				// campaign outage can buffer the whole tail of a run into one
+				// pre-kill flush, leaving nothing to deliver afterwards. The
+				// reroute and seeded-mark counters prove the takeover path ran.
+				pass: live.reroutes > 0 && live1.reroutes > 0 &&
+					live.takeovers > 0 && live1.takeovers > 0,
+				detail: fmt.Sprintf("reroutes=%.0f/%.0f takeover-devices=%.0f/%.0f events %d→%d / %d→%d",
+					live.reroutes, live1.reroutes, live.takeovers, live1.takeovers,
+					live.fleetKilledAt, live.fleetEnd, live1.fleetKilledAt, live1.fleetEnd),
+			},
+			chaosCheck{
+				id:   "I7/union-exactly-once",
+				text: "stored union across collectors is identical in both worker arms despite mid-run ownership changes",
+				pass: live.storedDigest == live1.storedDigest && live.storedEvents == live1.storedEvents &&
+					live.storedEvents > 0,
+				detail: fmt.Sprintf("workers=N: %d events %s; workers=1: %d events %s",
+					live.storedEvents, live.storedDigest, live1.storedEvents, live1.storedDigest),
+			},
+		)
+	}
+	checks = append(checks, chaosCheck{
+		id:   "I7/single-collector-equal",
+		text: "the fleet's stored union equals a single-collector run of the same scenario",
+		pass: refDs.Len() == live.storedEvents && refDs.MultisetDigest() == live.storedDigest,
+		detail: fmt.Sprintf("fleet=%d events %s; single=%d events %s",
+			live.storedEvents, live.storedDigest, refDs.Len(), refDs.MultisetDigest()),
+	})
+	return checks
 }
 
 func chaosInvariants(campaign *faultinject.Campaign, baseline, res *fleet.Result) []chaosCheck {

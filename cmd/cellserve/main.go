@@ -24,6 +24,7 @@
 //
 //	cellserve -in run.snap.gz -listen 127.0.0.1:8080
 //	cellserve -live -collector 127.0.0.1:9230 -context run.snap.gz
+//	cellserve -live -fleet 3 -store-dir fleet-store -ring-seed 7
 //	curl localhost:8080/api/stats
 //	curl localhost:8080/api/live/figures
 //	curl localhost:8080/metrics
@@ -46,6 +47,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/metrics"
 	"repro/internal/trace"
+	"repro/internal/trace/ring"
 )
 
 var page = template.Must(template.New("index").Parse(`<!doctype html>
@@ -77,11 +79,13 @@ func main() {
 		drainGrace  = flag.Duration("drain-grace", 10*time.Second, "how long in-flight uploads may finish after SIGINT/SIGTERM (live mode)")
 		liveBuckets = flag.Int("live-buckets", 0, "sliding-window bucket count (0: default 60)")
 		liveBucket  = flag.Duration("live-bucket", 0, "sliding-window bucket width in virtual time (0: default 1h)")
+		fleetN      = flag.Int("fleet", 0, "run N store-backed collectors behind a consistent-hash ring instead of one (live mode; requires -store-dir)")
+		ringSeed    = flag.Int64("ring-seed", 0, "consistent-hash ring seed for -fleet")
 	)
 	flag.Parse()
 
 	if *live {
-		runLive(*listen, *colListen, *storeDir, *ctxPath, *drainGrace, *liveBuckets, *liveBucket, *withPprof)
+		runLive(*listen, *colListen, *storeDir, *ctxPath, *drainGrace, *liveBuckets, *liveBucket, *withPprof, *fleetN, *ringSeed)
 		return
 	}
 
@@ -164,8 +168,11 @@ func main() {
 // devices (or cellsim shards with -upload) point at colAddr, and every
 // admitted batch feeds the live accumulators behind the dedup gate. With
 // a store directory, admitted batches are crash-durable and the segment
-// index is queryable at /api/segments while ingest continues.
-func runLive(listen, colAddr, storeDir, ctxPath string, drainGrace time.Duration, buckets int, bucket time.Duration, withPprof bool) {
+// index is queryable at /api/segments while ingest continues. With
+// -fleet N (requires -store-dir), N store-backed collectors run behind a
+// consistent-hash ring, all feeding the same dataset and engine, and
+// /api/segments serves the merged union of their stores.
+func runLive(listen, colAddr, storeDir, ctxPath string, drainGrace time.Duration, buckets int, bucket time.Duration, withPprof bool, fleetN int, ringSeed int64) {
 	ds := trace.NewDataset()
 	ds.ExposeSize()
 
@@ -182,6 +189,13 @@ func runLive(listen, colAddr, storeDir, ctxPath string, drainGrace time.Duration
 		WindowBuckets: buckets,
 		WindowBucket:  bucket,
 	})
+	if fleetN > 1 {
+		runLiveFleet(listen, storeDir, drainGrace, withPprof, fleetN, ringSeed, ds, eng, in)
+		return
+	}
+	if fleetN == 1 {
+		log.Fatal("cellserve: -fleet needs at least 2 collectors")
+	}
 	opt := trace.CollectorOptions{OnAdmit: eng.Ingest}
 	var store *trace.SegStore
 	if storeDir != "" {
@@ -247,6 +261,82 @@ func runLive(listen, colAddr, storeDir, ctxPath string, drainGrace time.Duration
 			log.Printf("cellserve: store close: %v", err)
 		}
 	}
+	eng.Close()
+	srv.Close()
+}
+
+// runLiveFleet is live mode behind a collector fleet: N store-backed
+// collectors on ephemeral ports joined to one consistent-hash ring, all
+// admitting into the shared dataset and streaming engine. Boot replays
+// every member's directory (dataset + accumulators) before the fleet
+// accepts uploads; /api/segments serves the merged union of all
+// members' sealed segments. Point ring-aware uploaders at the printed
+// member addresses (Scenario.UploadRouter builds the same ring from the
+// same seed and membership).
+func runLiveFleet(listen, storeDir string, drainGrace time.Duration, withPprof bool, fleetN int, ringSeed int64, ds *trace.Dataset, eng *analysis.Streaming, in analysis.Input) {
+	if storeDir == "" {
+		log.Fatal("cellserve: -fleet requires -store-dir (the fleet is store-backed)")
+	}
+	replayDs := trace.ReplayInto(ds)
+	fc, err := ring.StartFleet(fleetN, ds, ring.FleetOptions{
+		Seed:      ringSeed,
+		Dir:       storeDir,
+		Collector: trace.CollectorOptions{OnAdmit: eng.Ingest},
+		Replay: func(b *trace.Batch) {
+			replayDs(b)
+			eng.Ingest(b.Events)
+		},
+	})
+	if err != nil {
+		log.Fatalf("cellserve: fleet: %v", err)
+	}
+	if ds.Len() > 0 {
+		if err := eng.WaitIdle(time.Minute); err != nil {
+			log.Printf("cellserve: live replay: %v", err)
+		}
+		eng.Sync(in)
+		fmt.Printf("replayed %d events from %s\n", ds.Len(), storeDir)
+	}
+	ds.ExposeSize()
+
+	mux := http.NewServeMux()
+	analysis.NewLiveAPI(eng, core.Catalogue()).Routes(mux)
+	trace.NewQueryAPI(ds).Routes(mux)
+	trace.NewMergeAPI(fc.Sources).Routes(mux)
+	mux.Handle("/metrics", metrics.Handler())
+	if withPprof {
+		metrics.RegisterPprof(mux)
+	}
+	srv := &http.Server{Addr: listen, Handler: mux}
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Fatalf("cellserve: http: %v", err)
+		}
+	}()
+	fmt.Printf("cellserve live on http://%s (fleet of %d, ring seed %d)\n", listen, fleetN, ringSeed)
+	for i := 0; i < fc.Len(); i++ {
+		fmt.Printf("  col-%d on %s\n", i, fc.Addr(i))
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	// Drain every member so acked batches are durable, settle the
+	// streaming side, then seal the stores; the merged segment API then
+	// provably serves every acknowledged batch.
+	if err := fc.Drain(drainGrace); err != nil {
+		log.Printf("cellserve: drain: %v", err)
+	}
+	if err := eng.WaitIdle(drainGrace); err != nil {
+		log.Printf("cellserve: live: %v", err)
+	}
+	if eng.Sync(in) {
+		log.Printf("cellserve: live: resynced accumulators from dataset")
+	}
+	if err := fc.CloseStores(); err != nil {
+		log.Printf("cellserve: store close: %v", err)
+	}
+	fc.Close()
 	eng.Close()
 	srv.Close()
 }

@@ -46,6 +46,13 @@
 // checkpoint. A SIGKILL instead leaves at most one torn, unacked frame
 // — which boot-time replay truncates and the device's retry restores.
 //
+// Several collectors form an ingestion fleet with -fleet-self and
+// -fleet-peers: every member builds the same consistent-hash ring
+// (same -ring-seed/-ring-vnodes and membership ⇒ identical placement),
+// and each refuses batches from devices the ring assigns elsewhere with
+// a wrong-collector redirect nack — ring-aware uploaders re-resolve and
+// retry at the owner, so a batch is never stored by two members.
+//
 // Usage:
 //
 //	collector -listen 127.0.0.1:9230 -store-dir collector-store
@@ -53,6 +60,7 @@
 //	collector -max-conns 512 -read-timeout 90s -drain-grace 10s
 //	collector -http 127.0.0.1:9231 -pprof
 //	collector -live -live-context run.snap.gz
+//	collector -fleet-self col-0 -fleet-peers col-1=10.0.0.2:9230,col-2=10.0.0.3:9230
 //	curl localhost:9231/metrics
 //	curl localhost:9231/api/segments
 //	curl localhost:9231/api/live/figures
@@ -65,6 +73,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -73,6 +82,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/metrics"
 	"repro/internal/trace"
+	"repro/internal/trace/ring"
 
 	// Blank import registers the monitor metric family, so this
 	// process's /metrics renders the full catalogue (zero-valued until
@@ -97,6 +107,10 @@ func main() {
 		liveContext = flag.String("live-context", "", "snapshot whose population/dwell/transition context feeds denominator-based live figures")
 		liveBuckets = flag.Int("live-buckets", 0, "sliding-window bucket count for live analysis (0: default 60)")
 		liveBucket  = flag.Duration("live-bucket", 0, "sliding-window bucket width in virtual time (0: default 1h)")
+		fleetSelf   = flag.String("fleet-self", "", "this collector's fleet member name; enables ring ownership enforcement")
+		fleetPeers  = flag.String("fleet-peers", "", "comma-separated name=addr peer list forming the rest of the ring (requires -fleet-self)")
+		ringSeed    = flag.Int64("ring-seed", 0, "consistent-hash ring seed; must match across the fleet")
+		ringVNodes  = flag.Int("ring-vnodes", 0, "virtual nodes per ring member (0: default; must match across the fleet)")
 	)
 	flag.Parse()
 
@@ -105,6 +119,32 @@ func main() {
 		MaxConns:    *maxConns,
 		ReadTimeout: *readTimeout,
 		AdmitShards: *admitShards,
+	}
+
+	// Fleet mode: build the shared ring and refuse devices the ring
+	// assigns to a peer. Every member must be constructed with the same
+	// seed, vnode count, and membership, or placements will disagree.
+	if *fleetPeers != "" && *fleetSelf == "" {
+		log.Fatal("collector: -fleet-peers requires -fleet-self")
+	}
+	if *fleetSelf != "" {
+		rt := ring.NewRouter(*ringSeed, *ringVNodes)
+		rt.Add(*fleetSelf, *listen)
+		if *fleetPeers != "" {
+			for _, p := range strings.Split(*fleetPeers, ",") {
+				name, addr, ok := strings.Cut(strings.TrimSpace(p), "=")
+				if !ok || name == "" || addr == "" {
+					log.Fatalf("collector: -fleet-peers entry %q: want name=addr", p)
+				}
+				if name == *fleetSelf {
+					continue
+				}
+				rt.Add(name, addr)
+			}
+		}
+		opt.Owns = rt.Owns(*fleetSelf)
+		fmt.Printf("fleet member %q on a %d-member ring (seed %d)\n",
+			*fleetSelf, len(rt.Members()), *ringSeed)
 	}
 
 	// Live mode feeds the analysis accumulators straight off the admit

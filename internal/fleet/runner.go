@@ -125,7 +125,7 @@ func Run(s Scenario) (*Result, error) {
 	if res.Overhead.Devices > 0 {
 		res.Overhead.MeanCPUUtilization = cpuSum / float64(res.Overhead.Devices)
 	}
-	if s.UploadAddr == "" {
+	if s.UploadAddr == "" && s.UploadRouter == nil {
 		publishMerged(dataset, outs)
 	}
 	res.Faults = inj.Report()
@@ -168,13 +168,23 @@ type shardIO struct {
 // fleet-wide event counter; it is a bare atomic add, so the hot path stays
 // allocation-free and shard determinism is untouched.
 func (sio *shardIO) setup(s *Scenario, state *shardState, inj *faultinject.Injector, lo int, out *shardOut) error {
-	if s.UploadAddr != "" {
+	if s.UploadAddr != "" || s.UploadRouter != nil {
 		dialect, err := trace.ParseDialect(s.UploadDialect)
 		if err != nil {
 			return fmt.Errorf("fleet: %w", err)
 		}
-		sio.uploader = trace.NewUploader(s.UploadAddr, uint64(lo))
+		// A router resolves the initial target per device and keeps
+		// re-resolving across membership changes; a bare UploadAddr pins
+		// one collector for the whole run.
+		addr := s.UploadAddr
+		if s.UploadRouter != nil {
+			addr = s.UploadRouter.Target(uint64(lo))
+		}
+		sio.uploader = trace.NewUploader(addr, uint64(lo))
 		sio.uploader.Dialect = dialect
+		if s.UploadRouter != nil {
+			sio.uploader.SetRouter(s.UploadRouter)
+		}
 		// Short, seeded backoff: the collector is local, so retries are
 		// cheap; the jitter stream is split per shard so retry timing never
 		// couples shards (and cannot perturb the simulation, which runs on

@@ -69,6 +69,12 @@ type Scenario struct {
 	// trace.Collector at this address over TCP instead of appending to
 	// the in-memory dataset directly.
 	UploadAddr string
+	// UploadRouter, when set, routes each shard uploader by device ID
+	// instead of the fixed UploadAddr: the initial target comes from the
+	// router, and the uploader re-resolves on wrong-collector redirects
+	// — the hook that points a Scenario at a collector fleet (see
+	// internal/trace/ring). Takes precedence over UploadAddr.
+	UploadRouter trace.TargetRouter
 	// UploadDialect selects the wire encoding shard uploaders speak:
 	// "v3" (default, the binary codec) or "v2" (sequenced gob frames,
 	// kept for mixed-fleet rollouts and as the benchmark baseline).

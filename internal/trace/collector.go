@@ -52,6 +52,16 @@ type CollectorOptions struct {
 	// batches instead of double-storing them. A store append failure
 	// drops the connection unacked, so the device's retry re-delivers.
 	Store *SegStore
+	// Owns, when set, restricts this collector to the devices a routing
+	// ring assigns it. A decoded batch whose device it does not own is
+	// refused before the dedup gate and before any store append: versioned
+	// clients get a wrong-collector redirect nack (they re-resolve the
+	// owner and retry there), legacy clients a bare close (their retry
+	// path re-resolves through whatever pointed them here). The check is
+	// consulted per batch, so ring changes take effect on in-flight
+	// connections at the next frame boundary. It must be safe for
+	// concurrent use.
+	Owns func(device uint64) bool
 }
 
 func (o CollectorOptions) withDefaults() CollectorOptions {
@@ -100,6 +110,7 @@ type Collector struct {
 	conns      map[net.Conn]struct{}
 	shed       map[net.Conn]struct{} // over-cap conns in their shed handshake
 	nacks      int64
+	redirects  int64
 	closed     bool
 	draining   bool
 	drainUntil time.Time
@@ -236,6 +247,38 @@ func (c *Collector) Nacks() int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.nacks
+}
+
+// Redirects returns how many batches were refused with a wrong-collector
+// redirect because opt.Owns disclaimed their device.
+func (c *Collector) Redirects() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.redirects
+}
+
+// SeedMarks raises the per-device acked high-water marks to at least the
+// given sequence numbers and returns how many devices had a mark newly
+// set or raised. A survivor taking over a dead collector's devices seeds
+// the marks replayed from the dead store here *before* the ring exposes
+// the reroute, so a device retrying a batch the dead collector had
+// durably stored (ack lost in the crash) dedups on the survivor instead
+// of being double-stored — the takeover half of invariant I7.
+func (c *Collector) SeedMarks(marks map[uint64]uint64) int {
+	seeded := 0
+	for dev, seq := range marks {
+		sh := c.shardFor(dev)
+		sh.mu.Lock()
+		if seq > sh.lastSeq[dev] {
+			sh.lastSeq[dev] = seq
+			seeded++
+		}
+		sh.mu.Unlock()
+	}
+	if seeded > 0 {
+		mColTakeover.Add(int64(seeded))
+	}
+	return seeded
 }
 
 // DurationQuantiles returns the streaming p50/p90/p99 of received failure
@@ -501,6 +544,18 @@ func (c *Collector) serve(conn net.Conn) {
 			return
 		}
 		versioned := dialect != DialectV1
+		if own := c.opt.Owns; own != nil && !own(b.DeviceID) {
+			// Not ours under the ring: refuse before the dedup gate and
+			// before any store append, then drop the connection — the
+			// client must re-resolve the owner, not keep streaming here.
+			c.mu.Lock()
+			c.redirects++
+			c.mu.Unlock()
+			if versioned {
+				writeReply(conn, batchWrongCollector, b.Seq, c.opt.RetryAfter)
+			}
+			return
+		}
 		dec, p := c.admit(b, wire, versioned)
 		switch dec {
 		case admitWait:

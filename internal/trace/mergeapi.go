@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"net/http"
+	"sort"
+)
+
+// StoreSource names one collector's segment store for merged queries.
+// After a failover the dead collector's directory keeps appearing here,
+// reopened read-only, so its sealed segments stay queryable alongside
+// the survivors'.
+type StoreSource struct {
+	Name  string
+	Store *SegStore
+}
+
+// MergeAPI serves the union of several collectors' segment stores as one
+// index — the query tier of the collector fleet. Paths and response
+// shapes mirror StoreAPI with one addition: every index entry carries
+// the owning collector's name, and the per-segment endpoints take a
+// mandatory `collector` parameter, because segment ids are only unique
+// within one store.
+//
+//	GET /api/segments                                        — merged index across every source
+//	GET /api/segments/events?collector=C&id=N[&device=D][&limit=K]
+//	GET /api/segments/data?collector=C&id=N
+//
+// Sources are re-fetched per request, so membership changes (a death, an
+// adopted read-only store) are visible to the next query without
+// re-registering routes. Like StoreAPI, every read touches only sealed
+// immutable files: merged queries never block any collector's ingest.
+type MergeAPI struct {
+	sources func() []StoreSource
+}
+
+// NewMergeAPI builds the merged query layer over a dynamic source list.
+// sources must be safe for concurrent calls.
+func NewMergeAPI(sources func() []StoreSource) *MergeAPI {
+	return &MergeAPI{sources: sources}
+}
+
+// Routes registers the API on mux under /api/segments.
+func (a *MergeAPI) Routes(mux *http.ServeMux) {
+	mux.HandleFunc("/api/segments", a.handleIndex)
+	mux.HandleFunc("/api/segments/events", a.handleEvents)
+	mux.HandleFunc("/api/segments/data", a.handleData)
+}
+
+// MergedSegmentInfo is one index entry of the merged view: a segment
+// plus the collector whose store holds it.
+type MergedSegmentInfo struct {
+	Collector string `json:"collector"`
+	SegmentInfo
+}
+
+func (a *MergeAPI) handleIndex(w http.ResponseWriter, r *http.Request) {
+	srcs := a.sources()
+	sort.Slice(srcs, func(i, j int) bool { return srcs[i].Name < srcs[j].Name })
+	out := []MergedSegmentInfo{}
+	for _, src := range srcs {
+		for _, info := range src.Store.Segments() {
+			out = append(out, MergedSegmentInfo{Collector: src.Name, SegmentInfo: info})
+		}
+	}
+	writeJSON(w, out)
+}
+
+// resolve maps the mandatory collector parameter to its store; on
+// failure it has already written the error response.
+func (a *MergeAPI) resolve(w http.ResponseWriter, r *http.Request) (*SegStore, bool) {
+	name := r.URL.Query().Get("collector")
+	if name == "" {
+		http.Error(w, "missing collector", http.StatusBadRequest)
+		return nil, false
+	}
+	for _, src := range a.sources() {
+		if src.Name == name {
+			return src.Store, true
+		}
+	}
+	http.Error(w, "no collector "+name, http.StatusNotFound)
+	return nil, false
+}
+
+func (a *MergeAPI) handleEvents(w http.ResponseWriter, r *http.Request) {
+	st, ok := a.resolve(w, r)
+	if !ok {
+		return
+	}
+	id, ok := segmentID(w, r)
+	if !ok {
+		return
+	}
+	q, ok := parseEventsQuery(w, r)
+	if !ok {
+		return
+	}
+	resp, err := segmentEvents(st, id, q)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+func (a *MergeAPI) handleData(w http.ResponseWriter, r *http.Request) {
+	st, ok := a.resolve(w, r)
+	if !ok {
+		return
+	}
+	id, ok := segmentID(w, r)
+	if !ok {
+		return
+	}
+	streamSegment(w, st, id)
+}

@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// mergeAPIFixture builds two stores with disjoint devices and a merged
+// API over both.
+func mergeAPIFixture(t *testing.T) (map[string]*SegStore, *httptest.Server) {
+	t.Helper()
+	stores := map[string]*SegStore{}
+	for name, dev := range map[string]uint64{"col-0": 3, "col-1": 8} {
+		st, err := OpenSegStore(t.TempDir(), SegStoreOptions{SegmentSize: 1024}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { st.Close() })
+		for _, b := range storeBatches(dev, 6, 8) {
+			if err := st.Append(b); err != nil {
+				t.Fatal(err)
+			}
+		}
+		stores[name] = st
+	}
+	api := NewMergeAPI(func() []StoreSource {
+		return []StoreSource{
+			{Name: "col-0", Store: stores["col-0"]},
+			{Name: "col-1", Store: stores["col-1"]},
+		}
+	})
+	mux := http.NewServeMux()
+	api.Routes(mux)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return stores, srv
+}
+
+// TestMergeAPIIndex: the merged index is the concatenation of every
+// source's index, each entry naming its collector.
+func TestMergeAPIIndex(t *testing.T) {
+	stores, srv := mergeAPIFixture(t)
+	code, body := storeAPIGet(t, srv, "/api/segments")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	var got []MergedSegmentInfo
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	perCollector := map[string]int{}
+	for _, info := range got {
+		perCollector[info.Collector]++
+	}
+	for name, st := range stores {
+		if want := len(st.Segments()); perCollector[name] != want {
+			t.Fatalf("merged index has %d segments for %s, store has %d", perCollector[name], name, want)
+		}
+	}
+}
+
+// TestMergeAPIEventsAndData: per-segment endpoints route by collector
+// name, reuse the single-store decode (truncated marker included), and
+// the raw data round-trips through the wire reader.
+func TestMergeAPIEventsAndData(t *testing.T) {
+	stores, srv := mergeAPIFixture(t)
+	id := stores["col-1"].Segments()[0].ID
+
+	code, body := storeAPIGet(t, srv, fmt.Sprintf("/api/segments/events?collector=col-1&id=%d&limit=5", id))
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	var resp SegmentEventsResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Rows) != 5 || !resp.Truncated {
+		t.Fatalf("limit=5: %d rows truncated=%v", len(resp.Rows), resp.Truncated)
+	}
+	for _, r := range resp.Rows {
+		if r.DeviceID != 8 {
+			t.Fatalf("col-1 serves device 8 only, got a row for device %d", r.DeviceID)
+		}
+	}
+
+	code, body = storeAPIGet(t, srv, fmt.Sprintf("/api/segments/data?collector=col-1&id=%d", id))
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	got := NewDataset()
+	br := bufio.NewReader(bytesReader(body))
+	for {
+		if _, err := br.Peek(1); err == io.EOF {
+			break
+		}
+		b, _, _, err := ReadBatchAny(br)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got.Append(b.Events...)
+	}
+	want := NewDataset()
+	if err := stores["col-1"].ReadSegment(id, func(b *Batch) error {
+		want.Append(b.Events...)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got.MultisetDigest() != want.MultisetDigest() {
+		t.Fatal("merged data download does not round-trip the segment")
+	}
+
+	for _, tc := range []struct {
+		path string
+		code int
+	}{
+		{fmt.Sprintf("/api/segments/events?id=%d", id), http.StatusBadRequest},
+		{fmt.Sprintf("/api/segments/events?collector=ghost&id=%d", id), http.StatusNotFound},
+		{"/api/segments/events?collector=col-1", http.StatusBadRequest},
+		{fmt.Sprintf("/api/segments/data?collector=ghost&id=%d", id), http.StatusNotFound},
+	} {
+		if code, _ := storeAPIGet(t, srv, tc.path); code != tc.code {
+			t.Errorf("GET %s = %d, want %d", tc.path, code, tc.code)
+		}
+	}
+}

@@ -57,4 +57,8 @@ var (
 		"Batches replayed from segment files while reopening a store.")
 	mSegTruncated = metrics.NewCounter("trace_segstore_truncated_bytes_total",
 		"Torn-tail bytes dropped when reopening a store after a crash (always an unacked final frame).")
+	mUpReroutes = metrics.NewCounter("trace_uploader_reroutes_total",
+		"Uploader target switches: Retarget calls (direct or router-driven) that changed the collector address.")
+	mColTakeover = metrics.NewCounter("trace_collector_takeover_devices",
+		"Devices whose acked high-water marks a surviving collector inherited from a dead collector's store (SeedMarks).")
 )

@@ -92,6 +92,45 @@ func TestUploaderFlushRetryMetrics(t *testing.T) {
 	}
 }
 
+// TestRerouteAndTakeoverMetrics checks the failover counters:
+// trace_uploader_reroutes_total moves on Retarget, and
+// trace_collector_takeover_devices moves when seeded marks actually
+// raise a device's high-water (not when they are stale).
+func TestRerouteAndTakeoverMetrics(t *testing.T) {
+	reroutes0 := metricVal(t, "trace_uploader_reroutes_total")
+	up := NewUploader("127.0.0.1:1", 9)
+	defer up.Close()
+	if up.Retarget("") {
+		t.Fatal("Retarget to empty address reported a change")
+	}
+	if up.Retarget("127.0.0.1:1") {
+		t.Fatal("Retarget to the current address reported a change")
+	}
+	if !up.Retarget("127.0.0.1:2") {
+		t.Fatal("Retarget to a new address reported no change")
+	}
+	if d := metricVal(t, "trace_uploader_reroutes_total") - reroutes0; d != 1 {
+		t.Errorf("reroute counter moved by %v, want 1 (no-op retargets must not count)", d)
+	}
+
+	takeover0 := metricVal(t, "trace_collector_takeover_devices")
+	ds := NewDataset()
+	col, err := NewCollector("127.0.0.1:0", ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+	if n := col.SeedMarks(map[uint64]uint64{3: 5, 4: 2}); n != 2 {
+		t.Fatalf("SeedMarks raised %d devices, want 2", n)
+	}
+	if n := col.SeedMarks(map[uint64]uint64{3: 4}); n != 0 {
+		t.Fatalf("stale SeedMarks raised %d devices, want 0", n)
+	}
+	if d := metricVal(t, "trace_collector_takeover_devices") - takeover0; d != 2 {
+		t.Errorf("takeover counter moved by %v, want 2 (stale seeds must not count)", d)
+	}
+}
+
 // TestCollectorDropMetrics checks a malformed stream bumps the dropped
 // counter.
 func TestCollectorDropMetrics(t *testing.T) {

@@ -1,0 +1,198 @@
+package ring
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/failure"
+	"repro/internal/trace"
+)
+
+// oneShotAckLoss injects exactly one ack-loss fault: the batch (dev,
+// seq) is delivered and durably stored, but the connection dies before
+// the ack — the duplicate-risk case a takeover must dedup.
+type oneShotAckLoss struct {
+	dev, seq uint64
+	used     bool
+}
+
+func (c *oneShotAckLoss) UploadFault(device, seq uint64) trace.UploadFaultClass {
+	if !c.used && device == c.dev && seq == c.seq {
+		c.used = true
+		return trace.FaultAckLoss
+	}
+	return trace.FaultNone
+}
+
+func (c *oneShotAckLoss) UploadOutcome(device uint64, acked bool) {}
+
+// TestFleetFailoverExactlyOnce drives a 3-collector fleet through a
+// mid-run SIGKILL of one member and checks the I7 contract end to end:
+// the shared dataset equals the recorded multiset exactly once, a batch
+// the victim stored without acking dedups on its survivor (seeded
+// marks), and the union of sealed segments — served through Sources,
+// including the victim's adopted read-only store — replays to the same
+// digest.
+func TestFleetFailoverExactlyOnce(t *testing.T) {
+	ds := trace.NewDataset()
+	fc, err := StartFleet(3, ds, FleetOptions{
+		Seed:   7,
+		VNodes: 64,
+		Dir:    t.TempDir(),
+		Store:  trace.SegStoreOptions{SegmentSize: 1 << 20, Checkpoint: time.Hour},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fc.Close()
+
+	const devices = 8
+	var (
+		recorded       trace.Digest
+		recordedEvents int
+		ups            [devices]*trace.Uploader
+	)
+	record := func(dev uint64, n int) {
+		u := ups[dev]
+		for i := 0; i < n; i++ {
+			e := failure.Event{DeviceID: dev, Kind: failure.DataStall, Duration: time.Duration(i+1) * time.Second}
+			recorded.Add(trace.EventDigest(&e))
+			recordedEvents++
+			u.Record(e)
+		}
+	}
+	for dev := uint64(0); dev < devices; dev++ {
+		u := trace.NewUploader(fc.Router().Target(dev), dev)
+		u.SetRouter(fc.Router())
+		// High threshold: flushes happen only where the test places them,
+		// so the ack-lost batch is not retried before the failover.
+		u.FlushThreshold = 1 << 20
+		u.SetWiFi(true)
+		ups[dev] = u
+		defer u.Close()
+	}
+
+	// Wave 1: everyone uploads to their ring-assigned owner.
+	for dev := uint64(0); dev < devices; dev++ {
+		record(dev, 8)
+		if err := ups[dev].Flush(); err != nil {
+			t.Fatalf("wave-1 flush dev %d: %v", dev, err)
+		}
+	}
+
+	// The victim is whoever owns device 0. Before killing it, make it
+	// durably store one more batch whose ack is lost: the retry must hit
+	// the survivor and dedup against the seeded marks.
+	victim := fc.OwnerIndex(0)
+	if victim < 0 {
+		t.Fatal("no owner for device 0")
+	}
+	ups[0].SetChaos(&oneShotAckLoss{dev: 0, seq: 2})
+	record(0, 4)
+	if err := ups[0].Flush(); err == nil {
+		t.Fatal("ack-loss flush unexpectedly succeeded")
+	}
+	ups[0].SetChaos(nil)
+	// The fault severed the client side only; wait for the victim to
+	// finish the durable admit (visible in the shared dataset, appended
+	// after persist) so the kill provably leaves the batch on disk.
+	for deadline := time.Now().Add(5 * time.Second); ds.Len() < recordedEvents; {
+		if time.Now().After(deadline) {
+			t.Fatalf("ack-lost batch never admitted: %d/%d", ds.Len(), recordedEvents)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	takeover0 := metricVal(t, "trace_collector_takeover_devices")
+	if err := fc.Fail(victim); err != nil {
+		t.Fatal(err)
+	}
+	if fc.Alive(victim) {
+		t.Fatal("victim still alive after Fail")
+	}
+	if metricVal(t, "trace_collector_takeover_devices") <= takeover0 {
+		t.Fatal("trace_collector_takeover_devices did not move on takeover")
+	}
+	if got := fc.OwnerIndex(0); got == victim || got < 0 {
+		t.Fatalf("device 0 still owned by the dead member (owner %d)", got)
+	}
+
+	// Wave 2: the router now names survivors; every uploader (including
+	// the victim's former devices) must land exactly once.
+	for dev := uint64(0); dev < devices; dev++ {
+		record(dev, 8)
+		if err := ups[dev].Flush(); err != nil {
+			t.Fatalf("wave-2 flush dev %d: %v", dev, err)
+		}
+	}
+
+	if ups[0].Reroutes() == 0 {
+		t.Fatal("device 0 never rerouted off the dead collector")
+	}
+	if fc.DedupHits() == 0 {
+		t.Fatal("the survivor never deduped the victim's ack-lost batch")
+	}
+	if got := ds.Len(); got != recordedEvents {
+		t.Fatalf("dataset holds %d events, recorded %d", got, recordedEvents)
+	}
+	if got := ds.MultisetDigest(); got != recorded {
+		t.Fatalf("dataset digest %s != recorded %s", got, recorded)
+	}
+
+	// Durable union: seal the survivors and replay every source — the
+	// victim's segments come from its adopted read-only store.
+	if err := fc.Drain(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := fc.CloseStores(); err != nil {
+		t.Fatal(err)
+	}
+	sources := fc.Sources()
+	if len(sources) != 3 {
+		t.Fatalf("Sources returned %d stores, want 3 (dead member adopted)", len(sources))
+	}
+	var stored trace.Digest
+	storedEvents := 0
+	for _, src := range sources {
+		for _, info := range src.Store.Segments() {
+			if !info.Sealed {
+				t.Fatalf("%s segment %d not sealed after CloseStores", src.Name, info.ID)
+			}
+			err := src.Store.ReadSegment(info.ID, func(b *trace.Batch) error {
+				for i := range b.Events {
+					stored.Add(trace.EventDigest(&b.Events[i]))
+					storedEvents++
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if storedEvents != recordedEvents || stored != recorded {
+		t.Fatalf("segment union: %d events digest %s, recorded %d digest %s",
+			storedEvents, stored, recordedEvents, recorded)
+	}
+}
+
+// TestFleetRefusesLastCollector: the harness will not kill the only
+// live member.
+func TestFleetRefusesLastCollector(t *testing.T) {
+	ds := trace.NewDataset()
+	fc, err := StartFleet(2, ds, FleetOptions{Seed: 1, VNodes: 16, Dir: t.TempDir(),
+		Store: trace.SegStoreOptions{Checkpoint: time.Hour}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fc.Close()
+	if err := fc.Fail(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fc.Fail(0); err == nil {
+		t.Fatal("double Fail succeeded")
+	}
+	if err := fc.Fail(1); err == nil {
+		t.Fatal("failing the last live collector succeeded")
+	}
+}

@@ -1,0 +1,8 @@
+package ring
+
+import "repro/internal/metrics"
+
+var (
+	mMembership = metrics.NewCounter("ring_membership_changes_total",
+		"Router membership changes: members joining or leaving the consistent-hash ring (address updates excluded).")
+)

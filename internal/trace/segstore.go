@@ -64,6 +64,15 @@ type SegStoreOptions struct {
 	// replay rebuilds the marks from the frames themselves — so losing
 	// the window since the last checkpoint loses nothing. <= 0 uses 2s.
 	Checkpoint time.Duration
+	// ReadOnly opens the store to adopt a dead collector's directory:
+	// replay runs normally (rebuilding marks and index, truncating a torn
+	// tail frame — safe even here, since a torn frame was by construction
+	// never acknowledged), every segment including the tail is treated as
+	// sealed and readable, and then nothing is ever written again: no
+	// active segment, no checkpoints, Append and Checkpoint fail. A fleet
+	// survivor uses this to serve the dead collector's segments in merged
+	// queries and to harvest its marks for SeedMarks.
+	ReadOnly bool
 }
 
 func (o SegStoreOptions) withDefaults() SegStoreOptions {
@@ -126,7 +135,10 @@ type DeviceRange struct {
 	Events int    `json:"events"`
 }
 
-var errSegStoreClosed = errors.New("trace: segment store is closed")
+var (
+	errSegStoreClosed   = errors.New("trace: segment store is closed")
+	errSegStoreReadOnly = errors.New("trace: segment store is read-only")
+)
 
 const checkpointName = "checkpoint.json"
 
@@ -215,6 +227,22 @@ func OpenSegStore(dir string, opt SegStoreOptions, onBatch func(*Batch)) (*SegSt
 		if seq > s.marks[dev] {
 			s.marks[dev] = seq
 		}
+	}
+
+	if opt.ReadOnly {
+		// Adopt mode: seal everything in memory so ReadSegment and the
+		// query APIs can serve the whole directory, and never write — no
+		// active segment, no checkpoint loop. The on-disk checkpoint stays
+		// as the dead process left it; a later read-write reopen replays
+		// from the frames as usual.
+		for _, seg := range s.segs {
+			if !seg.sealed {
+				seg.sealed = true
+				s.sealedThrough = seg.id
+			}
+		}
+		close(s.cpDone) // no checkpoint loop to wait out on Close/Kill
+		return s, nil
 	}
 
 	// The highest-numbered segment resumes as the active tail unless it
@@ -333,6 +361,9 @@ func (s *SegStore) Append(b *Batch) error {
 	if s.closed {
 		return errSegStoreClosed
 	}
+	if s.opt.ReadOnly {
+		return errSegStoreReadOnly
+	}
 	if _, err := s.f.Write(frame); err != nil {
 		// A partial append would corrupt the next frame's framing: roll the
 		// file back to the last frame boundary before reporting failure.
@@ -407,6 +438,9 @@ func (s *SegStore) Checkpoint() error {
 	defer s.mu.Unlock()
 	if s.closed {
 		return errSegStoreClosed
+	}
+	if s.opt.ReadOnly {
+		return errSegStoreReadOnly
 	}
 	return s.checkpointLocked()
 }
@@ -532,6 +566,13 @@ func (s *SegStore) Close() error {
 		return nil
 	}
 	s.closed = true
+	if s.opt.ReadOnly {
+		// Nothing was ever open for writing; there is nothing to seal.
+		s.mu.Unlock()
+		close(s.cpStop)
+		<-s.cpDone
+		return nil
+	}
 	var err error
 	if serr := s.f.Sync(); serr != nil {
 		err = serr
@@ -563,7 +604,9 @@ func (s *SegStore) Kill() {
 		return
 	}
 	s.closed = true
-	s.f.Close()
+	if s.f != nil {
+		s.f.Close()
+	}
 	s.mu.Unlock()
 	close(s.cpStop)
 	<-s.cpDone

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -281,5 +282,63 @@ func TestSegStoreReadSegmentSealedOnly(t *testing.T) {
 	}
 	if frames != infos[0].Frames {
 		t.Fatalf("read %d frames, index says %d", frames, infos[0].Frames)
+	}
+}
+
+// TestSegStoreReadOnlyAdopt opens a killed collector's directory in
+// read-only mode: the replayed marks match what the dead store held,
+// every segment — including the former active tail — is sealed and
+// readable, and writes are refused.
+func TestSegStoreReadOnlyAdopt(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenSegStore(dir, SegStoreOptions{SegmentSize: 512, Checkpoint: time.Hour}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NewDataset()
+	for _, dev := range []uint64{5, 9} {
+		for _, b := range storeBatches(dev, 4, 6) {
+			want.Append(b.Events...)
+			if err := st.Append(b); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	liveSegs := len(st.Segments())
+	st.Kill()
+
+	ro, err := OpenSegStore(dir, SegStoreOptions{ReadOnly: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ro.Close()
+	if marks := ro.Marks(); marks[5] != 4 || marks[9] != 4 {
+		t.Fatalf("adopted marks = %v, want devices 5 and 9 at seq 4", marks)
+	}
+	infos := ro.Segments()
+	if len(infos) != liveSegs {
+		t.Fatalf("adopted store indexes %d segments, dead store had %d", len(infos), liveSegs)
+	}
+	got := NewDataset()
+	for _, info := range infos {
+		if !info.Sealed {
+			t.Fatalf("adopted segment %d not sealed", info.ID)
+		}
+		if err := ro.ReadSegment(info.ID, func(b *Batch) error {
+			got.Append(b.Events...)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got.Len() != want.Len() || got.MultisetDigest() != want.MultisetDigest() {
+		t.Fatalf("adopted replay: %d events digest %s, wrote %d digest %s",
+			got.Len(), got.MultisetDigest(), want.Len(), want.MultisetDigest())
+	}
+	if err := ro.Append(storeBatches(5, 1, 1)[0]); !errors.Is(err, errSegStoreReadOnly) {
+		t.Fatalf("Append on read-only store = %v, want errSegStoreReadOnly", err)
+	}
+	if err := ro.Checkpoint(); !errors.Is(err, errSegStoreReadOnly) {
+		t.Fatalf("Checkpoint on read-only store = %v, want errSegStoreReadOnly", err)
 	}
 }

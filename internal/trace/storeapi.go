@@ -55,46 +55,86 @@ func (a *StoreAPI) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	limit := 100
+	q, ok := parseEventsQuery(w, r)
+	if !ok {
+		return
+	}
+	resp, err := segmentEvents(a.st, id, q)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+// SegmentRow is one decoded event row in a segment-events response.
+type SegmentRow struct {
+	DeviceID uint64  `json:"device_id"`
+	Seq      uint64  `json:"seq"`
+	Kind     string  `json:"kind"`
+	ISP      string  `json:"isp"`
+	RAT      string  `json:"rat"`
+	Level    int     `json:"level"`
+	Cause    string  `json:"cause"`
+	Duration float64 `json:"duration_s"`
+}
+
+// SegmentEventsResponse is the /api/segments/events envelope. Truncated
+// reports that the row limit cut the read short — at least one more
+// matching row remains in the segment — so a caller can tell a full page
+// from an exhausted segment.
+type SegmentEventsResponse struct {
+	Rows      []SegmentRow `json:"rows"`
+	Truncated bool         `json:"truncated"`
+}
+
+// eventsQuery is the parsed limit/device filter shared by the
+// single-store and merged events endpoints.
+type eventsQuery struct {
+	limit    int
+	device   uint64
+	filtered bool
+}
+
+// parseEventsQuery validates limit and device; on failure it has already
+// written the 400 response.
+func parseEventsQuery(w http.ResponseWriter, r *http.Request) (eventsQuery, bool) {
+	q := eventsQuery{limit: 100}
 	if s := r.URL.Query().Get("limit"); s != "" {
 		n, err := strconv.Atoi(s)
 		if err != nil || n < 1 || n > 100000 {
 			http.Error(w, "bad limit", http.StatusBadRequest)
-			return
+			return q, false
 		}
-		limit = n
+		q.limit = n
 	}
-	var device uint64
-	filtered := false
 	if s := r.URL.Query().Get("device"); s != "" {
 		n, err := strconv.ParseUint(s, 10, 64)
 		if err != nil {
 			http.Error(w, "bad device", http.StatusBadRequest)
-			return
+			return q, false
 		}
-		device, filtered = n, true
+		q.device, q.filtered = n, true
 	}
-	type jsonRow struct {
-		DeviceID uint64  `json:"device_id"`
-		Seq      uint64  `json:"seq"`
-		Kind     string  `json:"kind"`
-		ISP      string  `json:"isp"`
-		RAT      string  `json:"rat"`
-		Level    int     `json:"level"`
-		Cause    string  `json:"cause"`
-		Duration float64 `json:"duration_s"`
-	}
-	rows := []jsonRow{}
-	err := a.st.ReadSegment(id, func(b *Batch) error {
-		if filtered && b.DeviceID != device {
+	return q, true
+}
+
+// segmentEvents decodes up to q.limit matching rows from sealed segment
+// id. Truncated is set only when a matching event actually exists past
+// the limit, not merely because the page came back full.
+func segmentEvents(st *SegStore, id uint64, q eventsQuery) (SegmentEventsResponse, error) {
+	resp := SegmentEventsResponse{Rows: []SegmentRow{}}
+	err := st.ReadSegment(id, func(b *Batch) error {
+		if q.filtered && b.DeviceID != q.device {
 			return nil
 		}
 		for i := range b.Events {
-			if len(rows) >= limit {
+			if len(resp.Rows) >= q.limit {
+				resp.Truncated = true
 				return errStoreAPIDone
 			}
 			e := &b.Events[i]
-			rows = append(rows, jsonRow{
+			resp.Rows = append(resp.Rows, SegmentRow{
 				DeviceID: e.DeviceID, Seq: b.Seq, Kind: e.Kind.String(),
 				ISP: e.ISP.String(), RAT: e.RAT.String(), Level: int(e.Level),
 				Cause: e.Cause.String(), Duration: e.Duration.Seconds(),
@@ -103,10 +143,9 @@ func (a *StoreAPI) handleEvents(w http.ResponseWriter, r *http.Request) {
 		return nil
 	})
 	if err != nil && err != errStoreAPIDone {
-		http.Error(w, err.Error(), http.StatusNotFound)
-		return
+		return resp, err
 	}
-	writeJSON(w, rows)
+	return resp, nil
 }
 
 // errStoreAPIDone stops a segment read early once the row limit fills.
@@ -117,7 +156,13 @@ func (a *StoreAPI) handleData(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	path, err := a.st.sealedPath(id)
+	streamSegment(w, a.st, id)
+}
+
+// streamSegment copies sealed segment id of st verbatim to the response
+// (shared by the single-store and merged data endpoints).
+func streamSegment(w http.ResponseWriter, st *SegStore, id uint64) {
+	path, err := st.sealedPath(id)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusNotFound)
 		return

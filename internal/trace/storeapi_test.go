@@ -109,28 +109,25 @@ func TestStoreAPIDataRoundTrip(t *testing.T) {
 }
 
 // TestStoreAPIEventsFiltering exercises the decoded-row endpoint: device
-// filtering and the row limit.
+// filtering, the row limit, and the truncated marker that tells a full
+// page from an exhausted segment.
 func TestStoreAPIEventsFiltering(t *testing.T) {
 	st, srv := storeAPIFixture(t)
-	id := st.Segments()[0].ID
-	type row struct {
-		DeviceID uint64 `json:"device_id"`
-		Seq      uint64 `json:"seq"`
-		Kind     string `json:"kind"`
-	}
+	info := st.Segments()[0]
+	id := info.ID
 
 	code, body := storeAPIGet(t, srv, fmt.Sprintf("/api/segments/events?id=%d&device=3", id))
 	if code != http.StatusOK {
 		t.Fatalf("status %d", code)
 	}
-	var rows []row
-	if err := json.Unmarshal(body, &rows); err != nil {
+	var resp SegmentEventsResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) == 0 {
+	if len(resp.Rows) == 0 {
 		t.Fatal("device filter returned no rows")
 	}
-	for _, r := range rows {
+	for _, r := range resp.Rows {
 		if r.DeviceID != 3 {
 			t.Fatalf("row for device %d leaked through the device=3 filter", r.DeviceID)
 		}
@@ -143,12 +140,32 @@ func TestStoreAPIEventsFiltering(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("status %d", code)
 	}
-	rows = nil
-	if err := json.Unmarshal(body, &rows); err != nil {
+	resp = SegmentEventsResponse{}
+	if err := json.Unmarshal(body, &resp); err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 5 {
-		t.Fatalf("limit=5 returned %d rows", len(rows))
+	if len(resp.Rows) != 5 {
+		t.Fatalf("limit=5 returned %d rows", len(resp.Rows))
+	}
+	if !resp.Truncated {
+		t.Fatal("limit=5 cut the segment short but truncated=false")
+	}
+
+	// A limit covering the whole segment must not report truncation even
+	// when the page comes back exactly full.
+	code, body = storeAPIGet(t, srv, fmt.Sprintf("/api/segments/events?id=%d&limit=%d", id, info.Events))
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	resp = SegmentEventsResponse{}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Rows) != info.Events {
+		t.Fatalf("limit=%d returned %d rows, want the whole segment", info.Events, len(resp.Rows))
+	}
+	if resp.Truncated {
+		t.Fatal("an exactly-full final page reported truncated=true")
 	}
 }
 

@@ -41,8 +41,19 @@ var (
 // flushes arm an exponential-backoff timer with seeded jitter; Record's
 // best-effort flushes respect the timer (so a dead collector is not
 // hammered once per event), while an explicit Flush always attempts.
+//
+// The target collector is no longer fixed at construction: Retarget
+// switches the uploader to a new address mid-run (the open connection to
+// the old collector is dropped lazily before the next send), and
+// SetRouter installs a TargetRouter the uploader consults before every
+// send so ring membership changes re-route the device without any
+// per-uploader bookkeeping. A collector that does not own this device
+// under the routing ring answers with a redirect nack (ErrWrongCollector);
+// the uploader re-resolves the owner and retries there, falling back to
+// the ordinary backoff machinery when the router still names the same
+// target.
 type Uploader struct {
-	addr string
+	addr string // guarded by mu; see Retarget
 
 	// FlushThreshold is how many events accumulate before an on-WiFi
 	// Record triggers an upload (default 1: immediate). Batching
@@ -89,12 +100,87 @@ type Uploader struct {
 	spilled     int64
 	dropped     int64
 	chaos       UploadChaos
+	router      TargetRouter
+	retargeted  bool // addr changed since the connection was dialed
+	reroutes    int64
+}
+
+// TargetRouter resolves which collector address a device should upload
+// to right now. Implementations (ring.Router) are consulted before every
+// send, so membership changes re-route in-flight uploaders without the
+// caller touching each one. Target must be safe for concurrent use and
+// may return "" when no collector is known (the uploader then keeps its
+// current address).
+type TargetRouter interface {
+	Target(device uint64) string
 }
 
 // NewUploader creates an uploader for a device targeting the collector at
-// addr.
+// addr. The target can be changed later with Retarget or a SetRouter
+// router.
 func NewUploader(addr string, deviceID uint64) *Uploader {
 	return &Uploader{addr: addr, deviceID: deviceID}
+}
+
+// Addr returns the collector address the next send will dial.
+func (u *Uploader) Addr() string {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.addr
+}
+
+// Retarget points the uploader at a new collector address and reports
+// whether the target actually changed. It is safe to call concurrently
+// with a running Flush: only u.mu is taken (never sendMu), the in-flight
+// send finishes against the old collector, and the stale connection is
+// dropped before the next send dials the new address. A retarget disarms
+// the backoff timer — the new collector deserves an immediate attempt —
+// and the sealed-batch/WAL retry machinery carries unacknowledged batches
+// over unchanged, so the survivor's dedup marks see the same sequence
+// numbers a retry to the old collector would have carried.
+func (u *Uploader) Retarget(addr string) bool {
+	u.mu.Lock()
+	if addr == "" || addr == u.addr {
+		u.mu.Unlock()
+		return false
+	}
+	u.addr = addr
+	u.retargeted = true
+	u.consecFails = 0
+	u.nextAttempt = time.Time{}
+	u.reroutes++
+	u.mu.Unlock()
+	mUpReroutes.Inc()
+	return true
+}
+
+// SetRouter installs (or, with nil, removes) a router consulted before
+// every send; when it names a different collector than the current
+// target, the uploader retargets automatically.
+func (u *Uploader) SetRouter(r TargetRouter) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.router = r
+}
+
+// Reroutes returns how many times the uploader switched collectors.
+func (u *Uploader) Reroutes() int64 {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.reroutes
+}
+
+// maybeRetarget re-resolves the device's owner through the router, if
+// any, and reports whether the target changed.
+func (u *Uploader) maybeRetarget() bool {
+	u.mu.Lock()
+	r := u.router
+	dev := u.deviceID
+	u.mu.Unlock()
+	if r == nil {
+		return false
+	}
+	return u.Retarget(r.Target(dev))
 }
 
 // SetBackoff configures the exponential backoff armed by failed flushes:
@@ -359,6 +445,18 @@ func (u *Uploader) flush(bestEffort bool) error {
 
 	start := time.Now()
 	sentBatches := 0
+	// send consults the router first, then delivers; a redirect nack from
+	// a collector that lost ownership of this device mid-flight earns one
+	// immediate retry at the freshly resolved owner before the failure
+	// arms backoff.
+	send := func(b *Batch) (int, error) {
+		u.maybeRetarget()
+		w, err := u.sendOne(b)
+		if err != nil && errors.Is(err, ErrWrongCollector) && u.maybeRetarget() {
+			w, err = u.sendOne(b)
+		}
+		return w, err
+	}
 	for {
 		// The WAL holds the oldest sequence numbers, so it drains first;
 		// sending a sealed batch while lower seqs sit on disk would make
@@ -371,7 +469,7 @@ func (u *Uploader) flush(bestEffort bool) error {
 				return err
 			}
 			if b != nil {
-				w, err := u.sendOne(b)
+				w, err := send(b)
 				if err != nil {
 					u.noteFailure(err)
 					return err
@@ -389,7 +487,7 @@ func (u *Uploader) flush(bestEffort bool) error {
 		}
 		b := u.sealed[0]
 		u.mu.Unlock()
-		w, err := u.sendOne(b)
+		w, err := send(b)
 		if err != nil {
 			u.noteFailure(err)
 			return err
@@ -418,6 +516,9 @@ func (u *Uploader) flush(bestEffort bool) error {
 func (u *Uploader) sendOne(b *Batch) (int, error) {
 	u.mu.Lock()
 	chaos := u.chaos
+	addr := u.addr
+	stale := u.retargeted
+	u.retargeted = false
 	u.mu.Unlock()
 	fault := FaultNone
 	if chaos != nil {
@@ -431,8 +532,13 @@ func (u *Uploader) sendOne(b *Batch) (int, error) {
 		u.dropConn()
 		return 0, fmt.Errorf("trace: dial collector: %w", errInjectedOutage)
 	}
+	if stale {
+		// Retarget changed the address since this connection was dialed;
+		// finish the switch here, where sendMu is held.
+		u.dropConn()
+	}
 	if u.conn == nil {
-		conn, err := net.Dial("tcp", u.addr)
+		conn, err := net.Dial("tcp", addr)
 		if err != nil {
 			return 0, fmt.Errorf("trace: dial collector: %w", err)
 		}
@@ -470,6 +576,14 @@ func (u *Uploader) sendOne(b *Batch) (int, error) {
 	if err != nil {
 		u.dropConn()
 		return 0, fmt.Errorf("%w: %v", ErrAckLost, err)
+	}
+	if kind == batchWrongCollector {
+		// Redirect nack: the collector decoded the batch but does not own
+		// this device under its ring view, and stored nothing. It closes
+		// its side after replying; drop ours and let the caller re-resolve
+		// the owner.
+		u.dropConn()
+		return 0, fmt.Errorf("%w (addr %s, seq %d)", ErrWrongCollector, addr, seq)
 	}
 	if kind == batchNack {
 		// The collector shed us; it closes its side after the nack, so

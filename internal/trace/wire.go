@@ -43,6 +43,14 @@ const (
 	// the complete v1 reply.
 	batchAck  = 0x06
 	batchNack = 0x15
+	// batchWrongCollector is the redirect nack: the collector decoded the
+	// batch but refuses it because, per its ring view, it does not own the
+	// batch's device. The reply reuses the nack frame layout (seq +
+	// retry-after floor); the collector closes its side afterwards. A
+	// ring-aware uploader re-resolves the device's owner and retargets;
+	// an uploader predating this kind treats the reply as malformed and
+	// falls back to its ordinary retry/backoff path.
+	batchWrongCollector = 0x17
 	// replyLen is the fixed v2 reply size: kind + seq + retry-after ms.
 	replyLen = 1 + 8 + 4
 )
@@ -59,6 +67,11 @@ var (
 	// ErrNoWiFi reports a flush attempted without WiFi connectivity (the
 	// paper's uploads are WiFi-gated).
 	ErrNoWiFi = errors.New("trace: no WiFi connectivity")
+	// ErrWrongCollector reports a redirect nack: the collector refused the
+	// batch because it does not own the batch's device under the routing
+	// ring. The batch was not stored; the uploader should re-resolve the
+	// device's owner (Retarget / TargetRouter) and retry there.
+	ErrWrongCollector = errors.New("trace: collector does not own this device")
 )
 
 // NackError is returned by Flush when the collector explicitly refused a
@@ -96,7 +109,7 @@ func readReply(r io.Reader) (kind byte, seq uint64, retryAfter time.Duration, er
 		return 0, 0, 0, err
 	}
 	kind = buf[0]
-	if kind != batchAck && kind != batchNack {
+	if kind != batchAck && kind != batchNack && kind != batchWrongCollector {
 		return 0, 0, 0, fmt.Errorf("trace: malformed reply kind 0x%02x", kind)
 	}
 	seq = binary.BigEndian.Uint64(buf[1:9])
